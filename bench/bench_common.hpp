@@ -1,0 +1,38 @@
+// Shared helpers for the experiment benches: every bench prints
+// markdown tables (the rows EXPERIMENTS.md records) to stdout.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "graph/matching.hpp"
+#include "graph/weights.hpp"
+#include "seq/greedy.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace lps::bench {
+
+inline void print_header(const std::string& title, const std::string& claim) {
+  std::cout << "\n## " << title << "\n\n";
+  if (!claim.empty()) std::cout << "Paper claim: " << claim << "\n\n";
+}
+
+inline void print_table(const Table& t) {
+  t.print_markdown(std::cout);
+  std::cout << "\n" << std::flush;
+}
+
+/// Certified upper bound on w(M*) usable at any scale: the greedy
+/// matching is a 1/2-MWM, so w(M*) <= 2 * w(greedy).
+inline double mwm_upper_bound(const WeightedGraph& wg) {
+  return 2.0 * greedy_mwm(wg).weight(wg);
+}
+
+}  // namespace lps::bench

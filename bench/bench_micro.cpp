@@ -1,0 +1,175 @@
+// Experiment MICRO — google-benchmark microbenchmarks of the substrates
+// (engineering numbers, not paper claims): exact solvers, the
+// synchronous engine's per-round overhead, BigCounter arithmetic, and
+// the generators.
+#include <benchmark/benchmark.h>
+
+#include "core/bipartite_counting.hpp"
+#include "core/israeli_itai.hpp"
+#include "core/luby_mis.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "runtime/engine.hpp"
+#include "seq/blossom.hpp"
+#include "seq/greedy.hpp"
+#include "seq/hopcroft_karp.hpp"
+#include "seq/hungarian.hpp"
+#include "util/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+void BM_ErdosRenyi(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(erdos_renyi(n, 8.0 / n, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ErdosRenyi)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const NodeId half = static_cast<NodeId>(state.range(0));
+  Rng rng(7);
+  const auto bg = random_bipartite(half, half, 6.0 / half, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hopcroft_karp(bg.graph, bg.side));
+  }
+  state.SetItemsProcessed(state.iterations() * bg.graph.num_edges());
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(1 << 9)->Arg(1 << 12);
+
+void BM_Blossom(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(9);
+  const Graph g = erdos_renyi(n, 6.0 / n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blossom_mcm(g));
+  }
+}
+BENCHMARK(BM_Blossom)->Arg(1 << 7)->Arg(1 << 9);
+
+void BM_GreedyMwm(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(11);
+  Graph g = erdos_renyi(n, 8.0 / n, rng);
+  auto w = uniform_weights(g.num_edges(), 1.0, 100.0, rng);
+  const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_mwm(wg));
+  }
+}
+BENCHMARK(BM_GreedyMwm)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_Hungarian(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  std::vector<std::vector<double>> profit(n, std::vector<double>(n));
+  for (auto& row : profit) {
+    for (auto& x : row) x = rng.uniform01() * 100.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_weight_assignment(profit));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(32)->Arg(128);
+
+void BM_EngineRound(benchmark::State& state) {
+  // Per-round overhead of the synchronous engine with light traffic.
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(15);
+  const Graph g = erdos_renyi(n, 4.0 / n, rng);
+  struct Msg {
+    std::uint32_t x;
+  };
+  SyncNetwork<Msg> net(g, 1);
+  auto step = [&](SyncNetwork<Msg>::Ctx& ctx) {
+    if ((ctx.id() & 7u) == 0) {
+      for (const auto& inc : ctx.graph().neighbors(ctx.id())) {
+        ctx.send(inc.edge, Msg{ctx.id()});
+        break;
+      }
+    }
+  };
+  for (auto _ : state) {
+    net.run_round(step);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineRound)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_IsraeliItai(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(17);
+  const Graph g = erdos_renyi(n, 6.0 / n, rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    IsraeliItaiOptions opts;
+    opts.seed = seed++;
+    benchmark::DoNotOptimize(israeli_itai(g, opts));
+  }
+}
+BENCHMARK(BM_IsraeliItai)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_LubyMis(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  Rng rng(19);
+  const Graph g = erdos_renyi(n, 8.0 / n, rng);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    MisOptions opts;
+    opts.seed = seed++;
+    benchmark::DoNotOptimize(luby_mis(g, opts));
+  }
+}
+BENCHMARK(BM_LubyMis)->Arg(1 << 10)->Arg(1 << 12);
+
+void BM_BipartiteCounting(benchmark::State& state) {
+  const NodeId half = static_cast<NodeId>(state.range(0));
+  Rng rng(21);
+  const auto bg = random_bipartite(half, half, 6.0 / half, rng);
+  const Matching m = greedy_mcm(bg.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        count_augmenting_paths(bg.graph, bg.side, m, 7, {}));
+  }
+}
+BENCHMARK(BM_BipartiteCounting)->Arg(1 << 9)->Arg(1 << 11);
+
+void BM_BigCounterAdd(benchmark::State& state) {
+  Rng rng(23);
+  BigCounter a(rng()), b(rng());
+  for (int i = 0; i < state.range(0); ++i) {
+    a.shift_left(31);
+    a += BigCounter(rng());
+    b.shift_left(31);
+    b += BigCounter(rng());
+  }
+  for (auto _ : state) {
+    BigCounter c = a;
+    c += b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_BigCounterAdd)->Arg(4)->Arg(64);
+
+void BM_BigCounterSampleBelow(benchmark::State& state) {
+  Rng rng(29);
+  BigCounter bound(1);
+  for (int i = 0; i < state.range(0); ++i) {
+    bound.shift_left(31);
+    bound += BigCounter(rng() | 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigCounter::sample_below(bound, rng));
+  }
+}
+BENCHMARK(BM_BigCounterSampleBelow)->Arg(4)->Arg(64);
+
+}  // namespace
+}  // namespace lps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+#include "core/bipartite_counting.hpp"
+
+#include <stdexcept>
+
+#include "runtime/engine.hpp"
+
+namespace lps {
+
+namespace {
+
+struct CountMessage {
+  BigCounter count;
+};
+
+}  // namespace
+
+CountingResult count_augmenting_paths(const Graph& g,
+                                      const std::vector<std::uint8_t>& side,
+                                      const Matching& m, int max_len,
+                                      const std::vector<char>& active_edges,
+                                      ThreadPool* pool) {
+  const NodeId n = g.num_nodes();
+  if (side.size() != n) {
+    throw std::invalid_argument("count_augmenting_paths: side size");
+  }
+  if (max_len < 1 || max_len % 2 == 0) {
+    throw std::invalid_argument("count_augmenting_paths: max_len must be odd");
+  }
+  auto active = [&](EdgeId e) {
+    return active_edges.empty() || active_edges[e];
+  };
+
+  CountingResult out;
+  out.depth.assign(n, kUnreached);
+  out.counts.assign(n, {});
+  out.total.assign(n, BigCounter{});
+  out.endpoint.assign(n, 0);
+
+  // Bit meter: a real CONGEST implementation ships each count as
+  // ceil(bits / chunk) chunks of O(log Delta) bits; we meter the full
+  // serialized width so max_message_bits reflects Lemma 3.6's
+  // O(l log Delta) bound.
+  auto meter = [](const CountMessage& msg) {
+    return std::max<std::uint64_t>(msg.count.bit_size(), 1) + 2;
+  };
+
+  SyncNetwork<CountMessage> net(g, /*seed=*/0, meter);
+  net.set_thread_pool(pool);
+
+  auto step = [&](SyncNetwork<CountMessage>::Ctx& ctx) {
+    const NodeId v = ctx.id();
+    const auto nbrs = ctx.graph().neighbors(v);
+    const std::uint64_t round = ctx.round();
+    const bool is_x = side[v] == 0;
+    const bool free = m.is_free(v);
+
+    if (round == 0) {
+      // Free X nodes start the BFS.
+      if (is_x && free) {
+        out.depth[v] = 0;
+        out.total[v] = BigCounter(1);
+        if (max_len >= 1) {
+          for (const auto& inc : nbrs) {
+            if (active(inc.edge)) {
+              ctx.send(inc.edge, CountMessage{BigCounter(1)});
+            }
+          }
+        }
+      }
+      return;
+    }
+
+    if (out.depth[v] != kUnreached) return;  // visited: discard arrivals
+    bool any = false;
+    for (const auto& in : ctx.inbox()) {
+      if (!active(in.edge)) continue;
+      if (!any) {
+        any = true;
+        out.depth[v] = static_cast<std::uint32_t>(round);
+        out.counts[v].assign(nbrs.size(), BigCounter{});
+      }
+      // Locate the incidence slot of this edge.
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i].edge == in.edge) {
+          out.counts[v][i] = in.payload->count;
+          out.total[v] += in.payload->count;
+          break;
+        }
+      }
+    }
+    if (!any) return;
+
+    const bool may_send = round + 1 <= static_cast<std::uint64_t>(max_len);
+    if (!is_x) {
+      // Y node: structural sanity — Y arrivals happen at odd rounds.
+      if (round % 2 == 0) {
+        throw std::logic_error("counting: Y node reached at even depth");
+      }
+      if (free) {
+        out.endpoint[v] = 1;  // terminal: paths of length `round` end here
+        return;
+      }
+      if (may_send) {
+        const EdgeId mate_edge = m.matched_edge(v);
+        if (active(mate_edge)) {
+          ctx.send(mate_edge, CountMessage{out.total[v]});
+        }
+      }
+    } else {
+      // Matched X node (free X have depth 0): arrives via its mate.
+      if (round % 2 != 0) {
+        throw std::logic_error("counting: X node reached at odd depth");
+      }
+      if (may_send) {
+        const EdgeId mate_edge = m.matched_edge(v);
+        for (const auto& inc : nbrs) {
+          if (inc.edge != mate_edge && active(inc.edge)) {
+            ctx.send(inc.edge, CountMessage{out.total[v]});
+          }
+        }
+      }
+    }
+  };
+
+  // Rounds 0..max_len: sends in 0..max_len-1, deliveries in 1..max_len.
+  for (int r = 0; r <= max_len; ++r) net.run_round(step);
+  out.stats = net.stats();
+  return out;
+}
+
+namespace {
+
+/// DFS over alternating simple paths from free X nodes, counting those
+/// that end at `target` with exactly `len` edges.
+struct OracleSearch {
+  const Graph& g;
+  const std::vector<std::uint8_t>& side;
+  const Matching& m;
+  const std::vector<char>& active_edges;
+  NodeId target;
+  int len;
+  std::vector<char> on_path;
+  std::uint64_t found = 0;
+
+  bool active(EdgeId e) const {
+    return active_edges.empty() || active_edges[e];
+  }
+
+  void extend(NodeId cur, int used) {
+    if (used == len) {
+      if (cur == target) ++found;
+      return;
+    }
+    const bool need_unmatched = (used % 2 == 0);
+    if (need_unmatched) {
+      for (const auto& inc : g.neighbors(cur)) {
+        if (!active(inc.edge) || m.contains(g, inc.edge)) continue;
+        if (on_path[inc.to]) continue;
+        on_path[inc.to] = 1;
+        extend(inc.to, used + 1);
+        on_path[inc.to] = 0;
+      }
+    } else {
+      const EdgeId e = m.matched_edge(cur);
+      if (e == kInvalidEdge || !active(e)) return;
+      const NodeId w = g.other_endpoint(e, cur);
+      if (on_path[w]) return;
+      on_path[w] = 1;
+      extend(w, used + 1);
+      on_path[w] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t count_paths_oracle(const Graph& g,
+                                 const std::vector<std::uint8_t>& side,
+                                 const Matching& m, NodeId y, int len,
+                                 const std::vector<char>& active_edges) {
+  if (!m.is_free(y) || side[y] != 1) return 0;
+  OracleSearch search{g,   side, m, active_edges, y,
+                      len, std::vector<char>(g.num_nodes(), 0)};
+  std::uint64_t total = 0;
+  for (NodeId x = 0; x < g.num_nodes(); ++x) {
+    if (side[x] != 0 || !m.is_free(x)) continue;
+    search.found = 0;
+    search.on_path[x] = 1;
+    search.extend(x, 0);
+    search.on_path[x] = 0;
+    total += search.found;
+  }
+  return total;
+}
+
+}  // namespace lps

@@ -1,0 +1,269 @@
+#include "core/bipartite_mcm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+
+namespace {
+
+enum class TokType : std::uint8_t { kToken, kConfirm };
+
+struct TokenMessage {
+  TokType type;
+  /// Log-domain order statistic: D = ln(-ln u) - ln(n_y); smaller wins.
+  double value = 0.0;
+  NodeId leader = kInvalidNode;
+};
+
+/// The paper's token carries an O(l log Delta)-bit number plus a leader
+/// id; we meter the value at 64 bits and the id at ceil(log2 n).
+std::uint64_t token_bits_for(std::uint64_t id_bits, const TokenMessage& m) {
+  return m.type == TokType::kToken ? 64 + id_bits + 1 : id_bits + 1;
+}
+
+/// Draw the Lemma 3.7 winner value for a leader with n paths: the max of
+/// n i.i.d. uniforms, represented order-faithfully in log-domain.
+/// max(U_1..U_n) ~ U^(1/n); D = ln(-ln(U^(1/n))) = ln(-ln u) - ln n,
+/// and u^(1/n) increasing in value  <=>  D decreasing, so smaller D wins.
+double draw_winner_value(const BigCounter& n, Rng& rng) {
+  const double u = rng.uniform01_open();
+  const double ln_n = n.log2() * 0.6931471805599453;  // ln 2
+  return std::log(-std::log(u)) - ln_n;
+}
+
+/// Sample an incidence slot with probability counts[i] / total.
+std::size_t sample_slot(const std::vector<BigCounter>& counts,
+                        const BigCounter& total, Rng& rng) {
+  BigCounter r = BigCounter::sample_below(total, rng);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i].is_zero()) continue;
+    if (r < counts[i]) return i;
+    r -= counts[i];
+  }
+  throw std::logic_error("sample_slot: counts do not sum to total");
+}
+
+/// Per-iteration token state for one node.
+struct TokenState {
+  bool forwarded = false;
+  NodeId forwarded_leader = kInvalidNode;
+  EdgeId arrival_edge = kInvalidEdge;  // edge the winning token came in on
+  EdgeId forward_edge = kInvalidEdge;  // edge it was sent out on
+};
+
+}  // namespace
+
+AugResult bipartite_aug(const Graph& g, const std::vector<std::uint8_t>& side,
+                        Matching& m, int max_len,
+                        const std::vector<char>& active_edges,
+                        const AugOptions& opts) {
+  const NodeId n = g.num_nodes();
+  if (max_len < 1 || max_len % 2 == 0) {
+    throw std::invalid_argument("bipartite_aug: max_len must be odd");
+  }
+  std::uint64_t id_bits = 1;
+  while ((std::uint64_t{1} << id_bits) < n + 1) ++id_bits;
+
+  // Iteration budget: O(log N) w.h.p. where N <= n * Delta^{(l+1)/2}
+  // (the paper's conflict-graph size bound), plus slack.
+  std::uint64_t max_iterations = opts.max_iterations;
+  if (max_iterations == 0) {
+    const double log_n = std::log2(static_cast<double>(n) + 2.0);
+    const double log_delta =
+        std::log2(static_cast<double>(g.max_degree()) + 2.0);
+    const double log_conflict =
+        log_n + (static_cast<double>(max_len + 1) / 2.0) * log_delta;
+    max_iterations =
+        64 + static_cast<std::uint64_t>(16.0 * log_conflict);
+  }
+
+  AugResult result;
+  const int l = max_len;
+
+  for (std::uint64_t iter = 0; iter < max_iterations; ++iter) {
+    // --- Phase 1: Algorithm 3 counting. ---
+    CountingResult counting =
+        count_augmenting_paths(g, side, m, l, active_edges, opts.pool);
+    result.stats.merge(counting.stats);
+    ++result.iterations;
+
+    bool any_endpoint = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (counting.is_path_endpoint(v)) {
+        any_endpoint = true;
+        break;
+      }
+    }
+    if (!any_endpoint) {
+      result.converged = true;
+      break;
+    }
+
+    // --- Phase 2: token selection + traceback (Lemma 3.7). ---
+    std::vector<TokenState> tok(n);
+    std::vector<char> flipped(n, 0);
+    std::vector<EdgeId> new_match_edge(n, kInvalidEdge);
+
+    auto meter = [id_bits](const TokenMessage& msg) {
+      return token_bits_for(id_bits, msg);
+    };
+    SyncNetwork<TokenMessage> net(
+        g, splitmix64(opts.seed ^ (iter * 0x9e3779b97f4a7c15ULL)), meter);
+    net.set_thread_pool(opts.pool);
+
+    const std::uint64_t token_rounds = static_cast<std::uint64_t>(l);
+    const std::uint64_t traceback_start = token_rounds + 1;
+
+    auto step = [&](SyncNetwork<TokenMessage>::Ctx& ctx) {
+      const NodeId v = ctx.id();
+      const std::uint64_t round = ctx.round();
+      const std::uint32_t d = counting.depth[v];
+
+      if (round <= token_rounds) {
+        // Token phase. Nodes at depth d act at round l - d: leaders
+        // launch, interior nodes resolve arrivals and forward.
+        if (d == kUnreached ||
+            round != token_rounds - static_cast<std::uint64_t>(d)) {
+          return;
+        }
+        const bool is_leader = counting.is_path_endpoint(v);
+        double best_value = std::numeric_limits<double>::infinity();
+        NodeId best_leader = kInvalidNode;
+        EdgeId best_edge = kInvalidEdge;
+        if (is_leader) {
+          best_value = draw_winner_value(counting.total[v], ctx.rng());
+          best_leader = v;
+        } else {
+          for (const auto& in : ctx.inbox()) {
+            if (in.payload->type != TokType::kToken) continue;
+            const double val = in.payload->value;
+            const NodeId led = in.payload->leader;
+            if (val < best_value ||
+                (val == best_value && led < best_leader)) {
+              best_value = val;
+              best_leader = led;
+              best_edge = in.edge;
+            }
+          }
+          if (best_leader == kInvalidNode) return;  // no token reached v
+        }
+        tok[v].arrival_edge = best_edge;
+        if (d == 0) {
+          // Free X endpoint: the token wins; traceback starts next phase.
+          tok[v].forwarded = true;  // marks "winning endpoint"
+          tok[v].forwarded_leader = best_leader;
+          return;
+        }
+        // Choose the backward edge: Y samples by counts, X follows its
+        // matched edge (which is exactly the single counted slot).
+        const auto nbrs = ctx.graph().neighbors(v);
+        const std::size_t slot =
+            sample_slot(counting.counts[v], counting.total[v], ctx.rng());
+        const EdgeId fwd = nbrs[slot].edge;
+        tok[v].forwarded = true;
+        tok[v].forwarded_leader = best_leader;
+        tok[v].forward_edge = fwd;
+        ctx.send(fwd, TokenMessage{TokType::kToken, best_value, best_leader});
+        return;
+      }
+
+      // Traceback phase: round traceback_start + t handles depth-t nodes.
+      if (d == kUnreached) return;
+      const std::uint64_t my_round = traceback_start + d;
+      if (round != my_round) return;
+      if (d == 0) {
+        // Winning free X endpoint: flip and send confirm up its trail.
+        if (!tok[v].forwarded) return;
+        flipped[v] = 1;
+        new_match_edge[v] = tok[v].arrival_edge;
+        ctx.send(tok[v].arrival_edge,
+                 TokenMessage{TokType::kConfirm, 0.0, tok[v].forwarded_leader});
+        return;
+      }
+      // Interior/leader node: accept a confirm only for the token we
+      // actually forwarded, arriving back on our forward edge.
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type != TokType::kConfirm) continue;
+        if (!tok[v].forwarded || in.payload->leader != tok[v].forwarded_leader ||
+            in.edge != tok[v].forward_edge) {
+          continue;
+        }
+        flipped[v] = 1;
+        // New matched edge: towards lower depth for odd-depth (Y) nodes,
+        // towards higher depth for even-depth (X) nodes.
+        new_match_edge[v] =
+            (d % 2 == 1) ? tok[v].forward_edge : tok[v].arrival_edge;
+        if (tok[v].arrival_edge != kInvalidEdge) {
+          ctx.send(tok[v].arrival_edge,
+                   TokenMessage{TokType::kConfirm, 0.0, in.payload->leader});
+        }
+        break;
+      }
+    };
+
+    // Token rounds 0..l, traceback rounds l+1..2l+1.
+    const std::uint64_t total_rounds = traceback_start + token_rounds + 1;
+    for (std::uint64_t r = 0; r < total_rounds; ++r) net.run_round(step);
+    result.stats.merge(net.stats());
+
+    // --- Apply the flips to the global matching. ---
+    // Every path edge is reported by both of its endpoints (old matched
+    // edges by both interior endpoints; new edges by both nodes pairing
+    // up), so each toggled edge appears exactly twice.
+    std::vector<EdgeId> toggles;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!flipped[v]) continue;
+      if (!m.is_free(v)) toggles.push_back(m.matched_edge(v));
+      toggles.push_back(new_match_edge[v]);
+    }
+    std::sort(toggles.begin(), toggles.end());
+    std::vector<EdgeId> unique_toggles;
+    for (std::size_t i = 0; i < toggles.size();) {
+      std::size_t j = i;
+      while (j < toggles.size() && toggles[j] == toggles[i]) ++j;
+      if (j - i != 2) {
+        throw std::logic_error("bipartite_aug: inconsistent flip parity");
+      }
+      unique_toggles.push_back(toggles[i]);
+      i = j;
+    }
+    if (unique_toggles.empty()) {
+      throw std::logic_error(
+          "bipartite_aug: an iteration with endpoints selected no path");
+    }
+    m.symmetric_difference(g, unique_toggles);
+    // Each confirmed path has exactly one depth-0 endpoint.
+    for (NodeId v = 0; v < n; ++v) {
+      if (flipped[v] && counting.depth[v] == 0) ++result.paths_applied;
+    }
+  }
+  return result;
+}
+
+BipartiteMcmResult bipartite_mcm(const Graph& g,
+                                 const std::vector<std::uint8_t>& side,
+                                 const BipartiteMcmOptions& opts) {
+  if (opts.k < 1) throw std::invalid_argument("bipartite_mcm: k must be >= 1");
+  BipartiteMcmResult result;
+  result.matching = Matching(g.num_nodes());
+  result.converged = true;
+  for (int l = 1; l <= 2 * opts.k - 1; l += 2) {
+    AugOptions aug_opts;
+    aug_opts.seed = splitmix64(opts.seed ^ (0xb1ca00 + l));
+    aug_opts.max_iterations = opts.max_iterations_per_phase;
+    aug_opts.pool = opts.pool;
+    AugResult aug = bipartite_aug(g, side, result.matching, l, {}, aug_opts);
+    result.stats.merge(aug.stats);
+    result.phases.push_back({l, aug.iterations, aug.paths_applied});
+    result.converged = result.converged && aug.converged;
+  }
+  return result;
+}
+
+}  // namespace lps

@@ -1,0 +1,136 @@
+#include "core/conflict_graph.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace lps {
+
+namespace {
+
+/// Local adjacency structure decoded from a gossip view.
+struct LocalView {
+  std::unordered_map<NodeId, std::vector<std::pair<NodeId, bool>>> adj;
+  std::unordered_set<NodeId> matched_nodes;
+
+  explicit LocalView(const std::vector<LabeledEdge>& view) {
+    for (const LabeledEdge& le : view) {
+      adj[le.u].emplace_back(le.v, le.matched);
+      adj[le.v].emplace_back(le.u, le.matched);
+      if (le.matched) {
+        matched_nodes.insert(le.u);
+        matched_nodes.insert(le.v);
+      }
+    }
+  }
+
+  bool is_free(NodeId v) const { return matched_nodes.count(v) == 0; }
+};
+
+struct PathEnumerator {
+  const Graph& g;
+  const LocalView& view;
+  NodeId leader;
+  int max_len;
+  std::size_t max_paths;
+  std::vector<AugPath>* out;
+  std::vector<NodeId> stack_nodes;
+  std::unordered_set<NodeId> on_path;
+
+  void record() {
+    if (out->size() >= max_paths) {
+      throw std::runtime_error(
+          "enumerate_paths_from_view: path cap exceeded; shrink l or the "
+          "instance");
+    }
+    AugPath p;
+    p.nodes = stack_nodes;
+    p.edges.reserve(p.nodes.size() - 1);
+    for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+      const EdgeId e = g.find_edge(p.nodes[i], p.nodes[i + 1]);
+      if (e == kInvalidEdge) {
+        throw std::logic_error("conflict graph: view edge missing in G");
+      }
+      p.edges.push_back(e);
+    }
+    out->push_back(std::move(p));
+  }
+
+  void extend(NodeId cur) {
+    const int used = static_cast<int>(stack_nodes.size()) - 1;
+    if (used >= max_len) return;
+    const bool need_unmatched = (used % 2 == 0);
+    const auto it = view.adj.find(cur);
+    if (it == view.adj.end()) return;
+    for (const auto& [to, matched] : it->second) {
+      if (matched == need_unmatched) continue;  // wrong alternation parity
+      if (on_path.count(to)) continue;
+      stack_nodes.push_back(to);
+      on_path.insert(to);
+      if (need_unmatched && view.is_free(to)) {
+        // Completed an augmenting path (odd length, both endpoints
+        // free). The leader is the smaller endpoint.
+        if (to > leader) record();
+        // A free endpoint cannot be extended (no matched edge).
+      } else {
+        extend(to);
+      }
+      on_path.erase(to);
+      stack_nodes.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<AugPath> enumerate_paths_from_view(
+    const Graph& g, const std::vector<LabeledEdge>& view, NodeId leader,
+    int max_len, std::size_t max_paths) {
+  std::vector<AugPath> out;
+  LocalView local(view);
+  if (!local.is_free(leader)) return out;
+  PathEnumerator en{g,       local,      leader, max_len,
+                    max_paths, &out, {},     {}};
+  en.stack_nodes.push_back(leader);
+  en.on_path.insert(leader);
+  en.extend(leader);
+  return out;
+}
+
+ConflictGraphResult build_conflict_graph(const Graph& g, const Matching& m,
+                                         const BallViews& views, int max_len,
+                                         std::size_t max_paths_total) {
+  ConflictGraphResult result;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!m.is_free(v)) continue;
+    std::vector<AugPath> mine = enumerate_paths_from_view(
+        g, views.view[v], v, max_len,
+        max_paths_total - result.paths.size());
+    for (AugPath& p : mine) result.paths.push_back(std::move(p));
+  }
+  // Conflicts: paths sharing any graph vertex.
+  std::unordered_map<NodeId, std::vector<NodeId>> paths_at_vertex;
+  for (std::size_t i = 0; i < result.paths.size(); ++i) {
+    for (NodeId v : result.paths[i].nodes) {
+      paths_at_vertex[v].push_back(static_cast<NodeId>(i));
+    }
+  }
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Edge> conflict_edges;
+  for (const auto& [v, list] : paths_at_vertex) {
+    for (std::size_t a = 0; a < list.size(); ++a) {
+      for (std::size_t b = a + 1; b < list.size(); ++b) {
+        NodeId x = list[a], y = list[b];
+        if (x > y) std::swap(x, y);
+        if (seen.insert((static_cast<std::uint64_t>(x) << 32) | y).second) {
+          conflict_edges.push_back({x, y});
+        }
+      }
+    }
+  }
+  result.conflict = Graph(static_cast<NodeId>(result.paths.size()),
+                          std::move(conflict_edges));
+  return result;
+}
+
+}  // namespace lps

@@ -1,0 +1,41 @@
+// Definition 3.1: the l-conflict graph C_M(l). Its nodes are augmenting
+// paths of length <= l w.r.t. the current matching; two nodes are
+// adjacent iff the paths share a graph vertex. Paths are enumerated by
+// their leader (the endpoint with the smaller id, per Algorithm 2 step
+// 3) from that leader's gossip view only — no global knowledge is used
+// beyond what Algorithm 2 delivered to the node.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/local_ball.hpp"
+#include "graph/matching.hpp"
+
+namespace lps {
+
+/// An augmenting path, with global node ids and resolved edge ids.
+struct AugPath {
+  std::vector<NodeId> nodes;  // nodes[0] is the leader (smaller endpoint)
+  std::vector<EdgeId> edges;  // |nodes| - 1 entries
+};
+
+/// All augmenting paths of length <= max_len whose leader is `leader`,
+/// enumerated from the leader's local view. Throws std::runtime_error
+/// when more than max_paths would be produced (safety valve: |C_M(l)| is
+/// n^{O(l)} in theory).
+std::vector<AugPath> enumerate_paths_from_view(
+    const Graph& g, const std::vector<LabeledEdge>& view, NodeId leader,
+    int max_len, std::size_t max_paths);
+
+struct ConflictGraphResult {
+  std::vector<AugPath> paths;  // node i of `conflict` is paths[i]
+  Graph conflict;
+};
+
+/// Build C_M(l) from the per-node views of Algorithm 2.
+ConflictGraphResult build_conflict_graph(const Graph& g, const Matching& m,
+                                         const BallViews& views, int max_len,
+                                         std::size_t max_paths_total);
+
+}  // namespace lps

@@ -1,0 +1,77 @@
+#include "core/gain.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/engine.hpp"
+
+namespace lps {
+
+std::vector<double> gain_weights(const WeightedGraph& wg, const Matching& m,
+                                 NetStats* stats, ThreadPool* pool) {
+  const Graph& g = wg.graph;
+  std::vector<double> gains(g.num_edges(), 0.0);
+
+  if (stats != nullptr) {
+    // One synchronous round: matched nodes announce w(v, M(v)).
+    struct WeightMsg {
+      double w;
+    };
+    SyncNetwork<WeightMsg> net(g, 0, [](const WeightMsg&) {
+      return std::uint64_t{64};
+    });
+    net.set_thread_pool(pool);
+    auto step = [&](SyncNetwork<WeightMsg>::Ctx& ctx) {
+      const NodeId v = ctx.id();
+      if (ctx.round() == 0 && !m.is_free(v)) {
+        ctx.send_all(WeightMsg{wg.weight(m.matched_edge(v))});
+      }
+    };
+    net.run_round(step);
+    net.run_round(step);  // delivery round (receivers compute locally)
+    stats->merge(net.stats());
+  }
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (m.contains(g, e)) {
+      gains[e] = 0.0;
+      continue;
+    }
+    const Edge& ed = g.edge(e);
+    double gain = wg.weight(e);
+    if (!m.is_free(ed.u)) gain -= wg.weight(m.matched_edge(ed.u));
+    if (!m.is_free(ed.v)) gain -= wg.weight(m.matched_edge(ed.v));
+    gains[e] = gain;
+  }
+  return gains;
+}
+
+std::vector<EdgeId> wrap_edges(const Graph& g, const Matching& m, EdgeId e) {
+  if (m.contains(g, e)) {
+    throw std::invalid_argument("wrap_edges: e must be unmatched");
+  }
+  std::vector<EdgeId> out;
+  const Edge& ed = g.edge(e);
+  if (!m.is_free(ed.u)) out.push_back(m.matched_edge(ed.u));
+  out.push_back(e);
+  if (!m.is_free(ed.v)) out.push_back(m.matched_edge(ed.v));
+  return out;
+}
+
+void apply_wraps(const Graph& g, Matching& m,
+                 const std::vector<EdgeId>& m_prime) {
+  if (!is_valid_matching(g, m_prime)) {
+    throw std::invalid_argument("apply_wraps: m_prime is not a matching");
+  }
+  std::vector<EdgeId> toggles;
+  for (EdgeId e : m_prime) {
+    for (EdgeId t : wrap_edges(g, m, e)) toggles.push_back(t);
+  }
+  // Matched edges can appear in two wraps (adjacent to two m_prime
+  // edges); the union keeps them once.
+  std::sort(toggles.begin(), toggles.end());
+  toggles.erase(std::unique(toggles.begin(), toggles.end()), toggles.end());
+  m.symmetric_difference(g, toggles);
+}
+
+}  // namespace lps

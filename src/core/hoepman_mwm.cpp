@@ -1,0 +1,111 @@
+#include "core/hoepman_mwm.hpp"
+
+#include "runtime/engine.hpp"
+
+namespace lps {
+
+namespace {
+
+enum class HoepType : std::uint8_t { kRequest, kDrop };
+
+struct HoepMsg {
+  HoepType type;
+};
+
+}  // namespace
+
+HoepmanResult hoepman_mwm(const WeightedGraph& wg,
+                          const HoepmanOptions& opts) {
+  const Graph& g = wg.graph;
+  const NodeId n = g.num_nodes();
+
+  std::vector<EdgeId> matched_edge(n, kInvalidEdge);
+  // alive[adj slot] per node, flattened (same layout as israeli_itai).
+  std::vector<std::size_t> adj_offset(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    adj_offset[v + 1] = adj_offset[v] + g.degree(v);
+  }
+  std::vector<char> edge_alive(adj_offset[n], 1);
+  std::vector<EdgeId> target(n, kInvalidEdge);
+
+  // Deterministic heaviest-edge comparator: (weight, edge id).
+  auto heavier = [&](EdgeId a, EdgeId b) {
+    if (wg.weights[a] != wg.weights[b]) return wg.weights[a] > wg.weights[b];
+    return a < b;
+  };
+
+  SyncNetwork<HoepMsg> net(g, /*seed=*/0,
+                           [](const HoepMsg&) { return std::uint64_t{2}; });
+  net.set_thread_pool(opts.pool);
+
+  auto step = [&](SyncNetwork<HoepMsg>::Ctx& ctx) {
+    const NodeId v = ctx.id();
+    const auto nbrs = ctx.graph().neighbors(v);
+
+    // 1. Process drops (edges leaving the game).
+    for (const auto& in : ctx.inbox()) {
+      if (in.payload->type != HoepType::kDrop) continue;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i].edge == in.edge) {
+          edge_alive[adj_offset[v] + i] = 0;
+          break;
+        }
+      }
+    }
+    if (matched_edge[v] != kInvalidEdge) return;
+
+    // 2. Retarget to the heaviest alive edge.
+    EdgeId best = kInvalidEdge;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (!edge_alive[adj_offset[v] + i]) continue;
+      if (best == kInvalidEdge || heavier(nbrs[i].edge, best)) {
+        best = nbrs[i].edge;
+      }
+    }
+    target[v] = best;
+    if (best == kInvalidEdge) return;  // no candidates left: halt
+
+    // 3. Mutual request on the target => matched.
+    bool partner_requests = false;
+    for (const auto& in : ctx.inbox()) {
+      if (in.payload->type == HoepType::kRequest && in.edge == best) {
+        partner_requests = true;
+        break;
+      }
+    }
+    if (partner_requests) {
+      matched_edge[v] = best;
+      // Confirm on the matched edge: if the partner pointed at us first
+      // and we match on its standing request before ever requesting,
+      // this message is what lets it match one round later (a matched
+      // node ignores stray requests, so the symmetric case is safe).
+      ctx.send(best, HoepMsg{HoepType::kRequest});
+      // Drop every other edge.
+      for (const auto& inc : nbrs) {
+        if (inc.edge != best) ctx.send(inc.edge, HoepMsg{HoepType::kDrop});
+      }
+      return;
+    }
+    // 4. (Re)issue the request; persistent pointing keeps the protocol
+    // symmetric: the round after both endpoints point at each other,
+    // both see the partner's request.
+    ctx.send(best, HoepMsg{HoepType::kRequest});
+  };
+
+  const std::uint64_t max_rounds =
+      opts.max_rounds != 0 ? opts.max_rounds : 4ull * n + 16;
+  HoepmanResult result;
+  const std::uint64_t used = net.run(max_rounds, /*stop_when_silent=*/true,
+                                     step);
+  result.converged = used < max_rounds || net.last_round_deliveries() == 0;
+  result.stats = net.stats();
+  std::vector<EdgeId> ids;
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeId e = matched_edge[v];
+    if (e != kInvalidEdge && g.edge(e).u == v) ids.push_back(e);
+  }
+  result.matching = Matching::from_edges(g, ids);
+  return result;
+}
+
+}  // namespace lps

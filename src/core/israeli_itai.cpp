@@ -1,0 +1,182 @@
+#include "core/israeli_itai.hpp"
+
+#include <cmath>
+
+#include "runtime/engine.hpp"
+
+namespace lps {
+
+namespace {
+
+enum class IiType : std::uint8_t { kPropose, kAccept, kMatched };
+
+struct IiMessage {
+  IiType type;
+};
+
+/// 2 bits of content; meter generously as one byte.
+std::uint64_t ii_bits(const IiMessage&) { return 8; }
+
+}  // namespace
+
+DistMatchingResult israeli_itai(const Graph& g,
+                                const IsraeliItaiOptions& opts) {
+  const NodeId n = g.num_nodes();
+  if (!opts.active_edges.empty() && opts.active_edges.size() != g.num_edges()) {
+    throw std::invalid_argument("israeli_itai: active_edges size mismatch");
+  }
+  auto active = [&](EdgeId e) {
+    return opts.active_edges.empty() || opts.active_edges[e];
+  };
+
+  // Persistent node state (owned here, indexed by node id; each node
+  // touches only its own entries during a round).
+  std::vector<EdgeId> matched_edge(n, kInvalidEdge);
+  if (opts.initial) {
+    if (opts.initial->num_nodes() != n) {
+      throw std::invalid_argument("israeli_itai: initial matching size");
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      matched_edge[v] = opts.initial->matched_edge(v);
+    }
+  }
+  // free_neighbor[slot in adjacency list] per node, flattened.
+  std::vector<std::size_t> adj_offset(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    adj_offset[v + 1] = adj_offset[v] + g.degree(v);
+  }
+  std::vector<char> neighbor_free(adj_offset[n], 1);
+  // Initialize neighbor liveness against the initial matching.
+  {
+    std::vector<char> is_matched(n, 0);
+    for (NodeId v = 0; v < n; ++v) {
+      if (matched_edge[v] != kInvalidEdge) is_matched[v] = 1;
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (is_matched[nbrs[i].to]) neighbor_free[adj_offset[v] + i] = 0;
+      }
+    }
+  }
+  std::vector<char> coin(n, 0);
+  std::vector<EdgeId> proposal_edge(n, kInvalidEdge);
+  // Set by a node at stage 0 when it is free and still sees a free
+  // active neighbor; used for termination detection (a phase in which no
+  // node had any candidate can never make progress again).
+  std::vector<char> had_candidates(n, 0);
+
+  SyncNetwork<IiMessage> net(g, opts.seed, ii_bits);
+  net.set_thread_pool(opts.pool);
+
+  const std::uint64_t max_phases =
+      opts.max_phases != 0
+          ? opts.max_phases
+          : 40 + 12 * static_cast<std::uint64_t>(
+                          std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+
+  auto step = [&](SyncNetwork<IiMessage>::Ctx& ctx) {
+    const NodeId v = ctx.id();
+    const auto nbrs = ctx.graph().neighbors(v);
+    const int stage = static_cast<int>(ctx.round() % 3);
+
+    // Matched-announcements can arrive at any stage; process them first.
+    for (const auto& in : ctx.inbox()) {
+      if (in.payload->type == IiType::kMatched) {
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          if (nbrs[i].edge == in.edge) {
+            neighbor_free[adj_offset[v] + i] = 0;
+            break;
+          }
+        }
+      }
+    }
+    const bool free = matched_edge[v] == kInvalidEdge;
+
+    if (stage == 0) {  // propose
+      if (!free) return;
+      coin[v] = ctx.rng().coin() ? 1 : 0;
+      proposal_edge[v] = kInvalidEdge;
+      // Count active free neighbors (for liveness tracking even when the
+      // coin says "acceptor").
+      std::uint32_t candidates = 0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (neighbor_free[adj_offset[v] + i] && active(nbrs[i].edge)) {
+          ++candidates;
+        }
+      }
+      had_candidates[v] = candidates > 0 ? 1 : 0;
+      if (!coin[v] || candidates == 0) return;
+      std::uint32_t pick = static_cast<std::uint32_t>(ctx.rng().below(candidates));
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (neighbor_free[adj_offset[v] + i] && active(nbrs[i].edge)) {
+          if (pick == 0) {
+            proposal_edge[v] = nbrs[i].edge;
+            ctx.send(nbrs[i].edge, IiMessage{IiType::kPropose});
+            break;
+          }
+          --pick;
+        }
+      }
+    } else if (stage == 1) {  // accept
+      if (!free || coin[v]) return;
+      std::vector<EdgeId> proposals;
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type == IiType::kPropose && active(in.edge)) {
+          proposals.push_back(in.edge);
+        }
+      }
+      if (proposals.empty()) return;
+      const EdgeId chosen = proposals[ctx.rng().below(proposals.size())];
+      matched_edge[v] = chosen;
+      ctx.send(chosen, IiMessage{IiType::kAccept});
+      for (const auto& inc : nbrs) {
+        if (inc.edge != chosen) ctx.send(inc.edge, IiMessage{IiType::kMatched});
+      }
+    } else {  // stage 2: proposers learn their fate
+      if (!free || !coin[v] || proposal_edge[v] == kInvalidEdge) return;
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type == IiType::kAccept &&
+            in.edge == proposal_edge[v]) {
+          matched_edge[v] = proposal_edge[v];
+          for (const auto& inc : nbrs) {
+            if (inc.edge != proposal_edge[v]) {
+              ctx.send(inc.edge, IiMessage{IiType::kMatched});
+            }
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  bool converged = false;
+  for (std::uint64_t phase = 0; phase < max_phases; ++phase) {
+    std::fill(had_candidates.begin(), had_candidates.end(), 0);
+    net.run_round(step);  // stage 0
+    net.run_round(step);  // stage 1
+    net.run_round(step);  // stage 2
+    // `neighbor_free` flags only turn off on true matched-announcements,
+    // so "no node saw a candidate" certifies maximality (stale flags can
+    // only cause extra phases, never early termination).
+    bool any = false;
+    for (NodeId v = 0; v < n; ++v) any = any || had_candidates[v];
+    if (!any) {
+      converged = true;
+      break;
+    }
+  }
+
+  DistMatchingResult out;
+  out.stats = net.stats();
+  out.converged = converged;
+  std::vector<EdgeId> ids;
+  for (NodeId v = 0; v < n; ++v) {
+    const EdgeId e = matched_edge[v];
+    if (e != kInvalidEdge && g.edge(e).u == v) ids.push_back(e);
+  }
+  out.matching = Matching::from_edges(g, ids);
+  return out;
+}
+
+}  // namespace lps

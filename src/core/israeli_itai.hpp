@@ -1,0 +1,52 @@
+// Randomized distributed maximal matching in the style of Israeli & Itai
+// (1986), reference [15] of the paper: the classical 1/2-MCM baseline in
+// O(log n) rounds w.h.p. that the paper's Section 3 improves on.
+//
+// Protocol (3 rounds per phase):
+//   stage 0: every free node flips a coin; heads-nodes ("proposers") send
+//            a proposal to one free neighbor chosen uniformly at random.
+//   stage 1: every free tails-node ("acceptor") that received proposals
+//            picks one uniformly and sends an accept; it is now matched
+//            and announces this to its other neighbors.
+//   stage 2: a proposer receiving an accept is matched and announces.
+// A node stops once it is matched or has no free neighbors; the run ends
+// when the network goes silent, at which point the matching is maximal.
+//
+// The proposer/acceptor coin removes all accept conflicts (a proposer
+// proposes to exactly one node, so it can receive at most one accept and
+// never accepts itself).
+#pragma once
+
+#include <optional>
+
+#include "graph/matching.hpp"
+#include "runtime/round_stats.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace lps {
+
+struct IsraeliItaiOptions {
+  std::uint64_t seed = 1;
+  /// Hard cap on phases (3 rounds each); 0 picks 40 + 12*ceil(log2(n+1)).
+  std::uint64_t max_phases = 0;
+  /// Restrict the run to a logical subgraph: inactive edges are treated
+  /// as absent. Empty = all edges active.
+  std::vector<char> active_edges;
+  /// Start from this matching instead of the empty one (its endpoints
+  /// count as already matched).
+  std::optional<Matching> initial;
+  ThreadPool* pool = nullptr;
+};
+
+struct DistMatchingResult {
+  Matching matching;
+  NetStats stats;
+  /// True iff the protocol went silent (matching maximal on the active
+  /// subgraph) before the phase cap.
+  bool converged = false;
+};
+
+DistMatchingResult israeli_itai(const Graph& g,
+                                const IsraeliItaiOptions& opts = {});
+
+}  // namespace lps

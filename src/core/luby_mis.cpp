@@ -1,0 +1,220 @@
+#include "core/luby_mis.hpp"
+
+#include <cmath>
+
+#include "runtime/engine.hpp"
+
+namespace lps {
+
+namespace {
+
+enum class MisType : std::uint8_t { kValue, kSelected };
+
+struct MisMessage {
+  MisType type;
+  std::uint64_t value;
+};
+
+/// Type bit + 64-bit value (the paper draws from [1, N^4], i.e.
+/// O(log N) bits; 64 bits covers N up to 2^16 exactly and we treat the
+/// value as the O(log N)-bit payload).
+std::uint64_t mis_bits(const MisMessage& m) {
+  return m.type == MisType::kValue ? 65 : 1;
+}
+
+enum class NodeState : std::uint8_t { kLive, kIn, kOut };
+
+}  // namespace
+
+MisResult luby_mis(const Graph& g, const MisOptions& opts) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeState> state(n, NodeState::kLive);
+  std::vector<std::uint64_t> my_value(n, 0);
+
+  SyncNetwork<MisMessage> net(g, opts.seed, mis_bits);
+  net.set_thread_pool(opts.pool);
+
+  const std::uint64_t max_phases =
+      opts.max_phases != 0
+          ? opts.max_phases
+          : 40 + 12 * static_cast<std::uint64_t>(
+                          std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+
+  auto step = [&](SyncNetwork<MisMessage>::Ctx& ctx) {
+    const NodeId v = ctx.id();
+    const int stage = static_cast<int>(ctx.round() % 2);
+    if (stage == 0) {
+      // Handle eliminations decided at the end of the previous phase.
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type == MisType::kSelected &&
+            state[v] == NodeState::kLive) {
+          state[v] = NodeState::kOut;
+        }
+      }
+      if (state[v] != NodeState::kLive) return;
+      my_value[v] = ctx.rng()();
+      ctx.send_all(MisMessage{MisType::kValue, my_value[v]});
+    } else {
+      if (state[v] != NodeState::kLive) return;
+      bool win = true;
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type != MisType::kValue) continue;
+        const std::uint64_t theirs = in.payload->value;
+        if (theirs > my_value[v] || (theirs == my_value[v] && in.from < v)) {
+          win = false;
+          break;
+        }
+      }
+      if (win) {
+        state[v] = NodeState::kIn;
+        ctx.send_all(MisMessage{MisType::kSelected, 0});
+      }
+    }
+  };
+
+  MisResult out;
+  for (std::uint64_t phase = 0; phase < max_phases; ++phase) {
+    net.run_round(step);
+    net.run_round(step);
+    bool any_live = false;
+    for (NodeId v = 0; v < n; ++v) {
+      any_live = any_live || state[v] == NodeState::kLive;
+    }
+    if (!any_live) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.stats = net.stats();
+  out.in_mis.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (state[v] == NodeState::kIn) out.in_mis[v] = 1;
+  }
+  return out;
+}
+
+namespace {
+
+enum class AbiType : std::uint8_t { kMark, kSelected, kDead };
+
+struct AbiMessage {
+  AbiType type;
+  std::uint32_t degree;  // kMark only
+};
+
+std::uint64_t abi_bits(const AbiMessage& m) {
+  return m.type == AbiType::kMark ? 34 : 2;
+}
+
+}  // namespace
+
+MisResult abi_mis(const Graph& g, const MisOptions& opts) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeState> state(n, NodeState::kLive);
+  std::vector<char> marked(n, 0);
+  std::vector<std::uint32_t> live_degree(n);
+  for (NodeId v = 0; v < n; ++v) live_degree[v] = g.degree(v);
+
+  SyncNetwork<AbiMessage> net(g, opts.seed, abi_bits);
+  net.set_thread_pool(opts.pool);
+
+  const std::uint64_t max_phases =
+      opts.max_phases != 0
+          ? opts.max_phases
+          : 60 + 16 * static_cast<std::uint64_t>(
+                          std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+
+  auto step = [&](SyncNetwork<AbiMessage>::Ctx& ctx) {
+    const NodeId v = ctx.id();
+    const int stage = static_cast<int>(ctx.round() % 3);
+    if (stage == 0) {
+      // Consume deaths decided at stage 2 of the previous phase.
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type == AbiType::kDead && live_degree[v] > 0) {
+          --live_degree[v];
+        }
+      }
+      if (state[v] != NodeState::kLive) return;
+      const double p =
+          live_degree[v] == 0 ? 1.0
+                              : 1.0 / (2.0 * static_cast<double>(live_degree[v]));
+      marked[v] = ctx.rng().bernoulli(p) ? 1 : 0;
+      if (marked[v]) {
+        ctx.send_all(AbiMessage{AbiType::kMark, live_degree[v]});
+      }
+    } else if (stage == 1) {
+      if (state[v] != NodeState::kLive || !marked[v]) return;
+      // Unmark if a marked neighbor beats us by (degree, id).
+      bool win = true;
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type != AbiType::kMark) continue;
+        const std::uint32_t theirs = in.payload->degree;
+        if (theirs > live_degree[v] ||
+            (theirs == live_degree[v] && in.from > v)) {
+          win = false;
+          break;
+        }
+      }
+      if (win) {
+        state[v] = NodeState::kIn;
+        ctx.send_all(AbiMessage{AbiType::kSelected, 0});
+      }
+    } else {  // stage 2: eliminations + death notices
+      if (state[v] != NodeState::kLive) return;
+      for (const auto& in : ctx.inbox()) {
+        if (in.payload->type == AbiType::kSelected) {
+          state[v] = NodeState::kOut;
+          ctx.send_all(AbiMessage{AbiType::kDead, 0});
+          return;
+        }
+      }
+    }
+  };
+
+  MisResult out;
+  for (std::uint64_t phase = 0; phase < max_phases; ++phase) {
+    net.run_round(step);
+    net.run_round(step);
+    net.run_round(step);
+    bool any_live = false;
+    for (NodeId v = 0; v < n; ++v) {
+      any_live = any_live || state[v] == NodeState::kLive;
+    }
+    if (!any_live) {
+      out.converged = true;
+      break;
+    }
+  }
+  out.stats = net.stats();
+  out.in_mis.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (state[v] == NodeState::kIn) out.in_mis[v] = 1;
+  }
+  return out;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set) {
+  for (const Edge& e : g.edges()) {
+    if (in_set[e.u] && in_set[e.v]) return false;
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g,
+                                const std::vector<char>& in_set) {
+  if (!is_independent_set(g, in_set)) return false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_set[v]) continue;
+    bool dominated = false;
+    for (const Graph::Incidence& inc : g.neighbors(v)) {
+      if (in_set[inc.to]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+}  // namespace lps

@@ -1,0 +1,151 @@
+#include "core/pipelined_max.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/engine.hpp"
+
+namespace lps {
+
+namespace {
+
+struct ChunkMsg {
+  std::uint32_t chunk;
+};
+
+}  // namespace
+
+PipelinedMaxResult pipelined_max(
+    const Graph& g, NodeId root,
+    const std::vector<std::optional<BigCounter>>& values, int chunk_bits,
+    ThreadPool* pool) {
+  const NodeId n = g.num_nodes();
+  if (chunk_bits < 1 || chunk_bits > 32) {
+    throw std::invalid_argument("pipelined_max: chunk_bits out of range");
+  }
+  if (values.size() != n) {
+    throw std::invalid_argument("pipelined_max: values size mismatch");
+  }
+  if (g.num_edges() + 1 != n) {
+    throw std::invalid_argument("pipelined_max: graph is not a tree");
+  }
+
+  // BFS orientation toward the root.
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<EdgeId> parent_edge(n, kInvalidEdge);
+  std::vector<std::uint32_t> depth(n, 0);
+  std::vector<NodeId> order{root};
+  std::vector<char> seen(n, 0);
+  seen[root] = 1;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const NodeId v = order[head];
+    for (const Graph::Incidence& inc : g.neighbors(v)) {
+      if (seen[inc.to]) continue;
+      seen[inc.to] = 1;
+      parent[inc.to] = v;
+      parent_edge[inc.to] = inc.edge;
+      depth[inc.to] = depth[v] + 1;
+      order.push_back(inc.to);
+    }
+  }
+  if (order.size() != n) {
+    throw std::invalid_argument("pipelined_max: tree is not connected");
+  }
+  const std::uint32_t tree_depth =
+      *std::max_element(depth.begin(), depth.end());
+
+  // Pad every value to a common chunk count j.
+  std::size_t max_bits = 1;
+  bool any = false;
+  for (const auto& v : values) {
+    if (v.has_value()) {
+      any = true;
+      max_bits = std::max(max_bits, v->bit_size());
+    }
+  }
+  const std::size_t j =
+      (max_bits + static_cast<std::size_t>(chunk_bits) - 1) /
+      static_cast<std::size_t>(chunk_bits);
+  PipelinedMaxResult result;
+  result.tree_depth = tree_depth;
+  result.chunk_count = j;
+  result.any_value = any;
+  if (!any) return result;
+
+  // Per-node chunk streams for the local value ("no value" = all-zero
+  // stream marked absent so it can never win over a real value; we model
+  // absence with a qualified flag).
+  std::vector<std::vector<std::uint32_t>> own(n);
+  std::vector<char> own_qualified(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (values[v].has_value()) {
+      own[v] = values[v]->to_chunks(chunk_bits, j);
+      own_qualified[v] = 1;
+    }
+  }
+
+  // Per-node per-child qualification flags and the output stream the
+  // node emits (recorded at the root to reassemble the max).
+  std::vector<std::vector<char>> child_qualified(n);
+  std::vector<std::vector<std::uint32_t>> emitted(n);
+  for (NodeId v = 0; v < n; ++v) {
+    child_qualified[v].assign(g.degree(v), 1);
+  }
+
+  SyncNetwork<ChunkMsg> net(g, 0, [chunk_bits](const ChunkMsg&) {
+    return static_cast<std::uint64_t>(chunk_bits);
+  });
+  net.set_thread_pool(pool);
+
+  // Node at depth d emits chunk i at round (tree_depth - d) + i.
+  auto step = [&](SyncNetwork<ChunkMsg>::Ctx& ctx) {
+    const NodeId v = ctx.id();
+    const std::uint64_t round = ctx.round();
+    const std::uint64_t start = tree_depth - depth[v];
+    if (round < start || round >= start + j) return;
+    const std::size_t i = static_cast<std::size_t>(round - start);
+
+    // Merge this position: own chunk (if still qualified) vs child
+    // chunks that arrived this round from still-qualified children.
+    const auto nbrs = ctx.graph().neighbors(v);
+    std::uint32_t best = 0;
+    bool have = false;
+    if (own_qualified[v]) {
+      best = own[v][i];
+      have = true;
+    }
+    std::vector<std::pair<std::size_t, std::uint32_t>> arrived;
+    for (const auto& in : ctx.inbox()) {
+      // Locate the child slot.
+      for (std::size_t slot = 0; slot < nbrs.size(); ++slot) {
+        if (nbrs[slot].edge == in.edge && in.from != parent[v]) {
+          if (child_qualified[v][slot]) {
+            arrived.emplace_back(slot, in.payload->chunk);
+            best = have ? std::max(best, in.payload->chunk)
+                        : in.payload->chunk;
+            have = true;
+          }
+          break;
+        }
+      }
+    }
+    if (!have) return;  // no qualified source reaches v
+    // Disqualify losers at this position (MSB-first elimination).
+    if (own_qualified[v] && own[v][i] < best) own_qualified[v] = 0;
+    for (const auto& [slot, chunk] : arrived) {
+      if (chunk < best) child_qualified[v][slot] = 0;
+    }
+    emitted[v].push_back(best);
+    if (v != root) {
+      ctx.send(parent_edge[v], ChunkMsg{best});
+    }
+  };
+
+  const std::uint64_t total_rounds = tree_depth + j + 1;
+  for (std::uint64_t r = 0; r < total_rounds; ++r) net.run_round(step);
+  result.stats = net.stats();
+  result.maximum = BigCounter::from_chunks(emitted[root], chunk_bits);
+  return result;
+}
+
+}  // namespace lps

@@ -1,0 +1,109 @@
+#include "core/weighted_mwm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/class_mwm.hpp"
+#include "core/gain.hpp"
+#include "seq/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+
+MwmBlackBox class_mwm_black_box(ThreadPool* pool) {
+  return [pool](const WeightedGraph& wg, std::uint64_t seed,
+                NetStats* stats) {
+    ClassMwmOptions opts;
+    opts.seed = seed;
+    opts.pool = pool;
+    ClassMwmResult res = class_mwm(wg, opts);
+    if (stats != nullptr) stats->merge(res.stats);
+    return std::move(res.matching);
+  };
+}
+
+MwmBlackBox greedy_black_box() {
+  return [](const WeightedGraph& wg, std::uint64_t, NetStats*) {
+    return greedy_mwm(wg);
+  };
+}
+
+WeightedMwmResult weighted_mwm(const WeightedGraph& wg,
+                               const WeightedMwmOptions& opts) {
+  if (!(opts.eps > 0.0) || opts.eps >= 1.0) {
+    throw std::invalid_argument("weighted_mwm: eps must be in (0,1)");
+  }
+  if (!(opts.delta > 0.0) || opts.delta > 0.5) {
+    throw std::invalid_argument("weighted_mwm: delta must be in (0, 1/2]");
+  }
+  const Graph& g = wg.graph;
+  const MwmBlackBox black_box =
+      opts.black_box ? opts.black_box : class_mwm_black_box(opts.pool);
+  const std::uint64_t iterations =
+      opts.max_iterations != 0
+          ? opts.max_iterations
+          : static_cast<std::uint64_t>(std::ceil(
+                3.0 / (2.0 * opts.delta) * std::log(2.0 / opts.eps)));
+
+  WeightedMwmResult result;
+  result.matching = Matching(g.num_nodes());
+
+  for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+    // Line 3: G' = (V, E, w_M). One exchange round, accounted.
+    const std::vector<double> gains =
+        gain_weights(wg, result.matching, &result.stats, opts.pool);
+
+    // Restrict to positive-gain edges: a maximum-weight matching never
+    // gains from edges with w_M <= 0, and the class black box requires
+    // positive weights.
+    std::vector<char> keep_edge(g.num_edges(), 0);
+    bool any = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (gains[e] > 0.0) {
+        keep_edge[e] = 1;
+        any = true;
+      }
+    }
+    ++result.iterations;
+    if (!any) {
+      result.converged_early = true;
+      result.weight_trajectory.push_back(result.matching.weight(wg));
+      break;
+    }
+    Subgraph sub = induced_subgraph(g, {}, keep_edge);
+    std::vector<double> sub_weights(sub.graph.num_edges());
+    for (EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
+      sub_weights[e] = gains[sub.edge_to_parent[e]];
+    }
+    WeightedGraph gprime =
+        make_weighted(std::move(sub.graph), std::move(sub_weights));
+
+    // Line 4: M' <- delta-MWM(G').
+    const Matching m_prime = black_box(
+        gprime, splitmix64(opts.seed ^ (iter * 0xa0761d6478bd642fULL)),
+        &result.stats);
+
+    // Line 5: M <- M ⊕ ∪ wrap(e). Applying the wraps takes O(1) rounds
+    // (each M' edge's endpoints flip locally and notify their old
+    // mates); account one round plus one O(log n)-bit message per
+    // dropped edge endpoint.
+    std::vector<EdgeId> parent_edges;
+    parent_edges.reserve(m_prime.size());
+    for (EdgeId e : m_prime.edge_ids(gprime.graph)) {
+      parent_edges.push_back(sub.edge_to_parent[e]);
+    }
+    apply_wraps(g, result.matching, parent_edges);
+    NetStats apply;
+    apply.rounds = 1;
+    std::uint64_t id_bits = 1;
+    while ((std::uint64_t{1} << id_bits) < g.num_nodes() + 1) ++id_bits;
+    for (std::size_t i = 0; i < 2 * parent_edges.size(); ++i) {
+      apply.note_message(id_bits);
+    }
+    result.stats.merge(apply);
+    result.weight_trajectory.push_back(result.matching.weight(wg));
+  }
+  return result;
+}
+
+}  // namespace lps

@@ -1,0 +1,65 @@
+// Graph generators for tests, examples, and the benchmark workloads.
+// Random generators take an explicit Rng so every workload is seedable.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+
+/// Path 0-1-2-...-(n-1).
+Graph path_graph(NodeId n);
+/// Cycle on n >= 3 vertices.
+Graph cycle_graph(NodeId n);
+/// Complete graph K_n.
+Graph complete_graph(NodeId n);
+/// Star with center 0 and n-1 leaves.
+Graph star_graph(NodeId n);
+/// rows x cols grid.
+Graph grid_graph(NodeId rows, NodeId cols);
+/// Complete binary tree on n vertices (heap-indexed).
+Graph binary_tree(NodeId n);
+/// Complete bipartite K_{a,b}; X side is [0,a), Y side is [a,a+b).
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Erdős–Rényi G(n,p) via geometric edge skipping (O(n + m) expected).
+Graph erdos_renyi(NodeId n, double p, Rng& rng);
+
+/// A bipartite graph along with its side labels.
+struct BipartiteGraph {
+  Graph graph;
+  std::vector<std::uint8_t> side;  // 0 = X, 1 = Y
+  NodeId nx = 0;
+  NodeId ny = 0;
+};
+
+/// Random bipartite graph: each X-Y pair is an edge independently w.p. p.
+/// X side is [0,nx), Y side is [nx,nx+ny).
+BipartiteGraph random_bipartite(NodeId nx, NodeId ny, double p, Rng& rng);
+
+/// d-regular random bipartite-ish graph used by switch benchmarks:
+/// every X node gets exactly d distinct random Y neighbors.
+BipartiteGraph random_bipartite_regular_left(NodeId nx, NodeId ny, NodeId d,
+                                             Rng& rng);
+
+/// Uniform random labelled tree via Prüfer decoding.
+Graph random_tree(NodeId n, Rng& rng);
+
+/// Random d-regular simple graph (configuration model with restarts).
+/// Requires n*d even and d < n. Throws after too many failed attempts.
+Graph random_regular(NodeId n, NodeId d, Rng& rng);
+
+/// A tightness gadget for the phase ladder of Algorithm 1 / Theorem 3.8:
+/// `copies` disjoint paths, each with 2k+1 edges, together with the
+/// matching that leaves only the two path endpoints free — the unique
+/// augmenting path per copy is the whole path (length 2k+1). An
+/// algorithm that only considers augmenting paths of length <= 2k-1
+/// finds nothing and is stuck at exactly k/(k+1) of the optimum.
+struct TightChain {
+  Graph graph;
+  std::vector<std::uint8_t> side;  // proper 2-coloring (paths alternate)
+  std::vector<EdgeId> matched;     // the pre-matching described above
+};
+TightChain tight_bipartite_chain(int k, NodeId copies);
+
+}  // namespace lps

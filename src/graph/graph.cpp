@@ -1,0 +1,147 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lps {
+
+namespace {
+std::uint64_t edge_key(const Edge& e) {
+  return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+}
+}  // namespace
+
+Graph::Graph(NodeId n, std::vector<Edge> edges)
+    : n_(n), edges_(std::move(edges)) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(edges_.size() * 2);
+  for (Edge& e : edges_) {
+    if (e.u >= n_ || e.v >= n_) {
+      throw std::invalid_argument("Graph: endpoint out of range");
+    }
+    if (e.u == e.v) throw std::invalid_argument("Graph: self-loop");
+    if (e.u > e.v) std::swap(e.u, e.v);
+    if (!seen.insert(edge_key(e)).second) {
+      throw std::invalid_argument("Graph: duplicate edge");
+    }
+  }
+  offsets_.assign(n_ + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[e.u + 1];
+    ++offsets_[e.v + 1];
+  }
+  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
+  adj_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    adj_[cursor[e.u]++] = {e.v, id};
+    adj_[cursor[e.v]++] = {e.u, id};
+  }
+  for (NodeId v = 0; v < n_; ++v) {
+    max_degree_ = std::max(max_degree_, degree(v));
+  }
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  if (degree(u) > degree(v)) std::swap(u, v);
+  for (const Incidence& inc : neighbors(u)) {
+    if (inc.to == v) return inc.edge;
+  }
+  return kInvalidEdge;
+}
+
+std::optional<std::vector<std::uint8_t>> Graph::bipartition() const {
+  std::vector<std::uint8_t> side(n_, 2);  // 2 == unvisited
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n_; ++root) {
+    if (side[root] != 2) continue;
+    side[root] = 0;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : neighbors(v)) {
+        if (side[inc.to] == 2) {
+          side[inc.to] = static_cast<std::uint8_t>(1 - side[v]);
+          stack.push_back(inc.to);
+        } else if (side[inc.to] == side[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+std::vector<NodeId> Graph::components() const {
+  std::vector<NodeId> comp(n_, kInvalidNode);
+  std::vector<NodeId> stack;
+  NodeId next = 0;
+  for (NodeId root = 0; root < n_; ++root) {
+    if (comp[root] != kInvalidNode) continue;
+    comp[root] = next;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const Incidence& inc : neighbors(v)) {
+        if (comp[inc.to] == kInvalidNode) {
+          comp[inc.to] = next;
+          stack.push_back(inc.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+WeightedGraph make_weighted(Graph graph, std::vector<double> weights) {
+  if (weights.size() != graph.num_edges()) {
+    throw std::invalid_argument("make_weighted: size mismatch");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("make_weighted: weights must be positive");
+    }
+  }
+  return WeightedGraph{std::move(graph), std::move(weights)};
+}
+
+Subgraph induced_subgraph(const Graph& g, const std::vector<char>& keep_node,
+                          const std::vector<char>& keep_edge) {
+  const bool all_nodes = keep_node.empty();
+  const bool all_edges = keep_edge.empty();
+  if (!all_nodes && keep_node.size() != g.num_nodes()) {
+    throw std::invalid_argument("induced_subgraph: node mask size");
+  }
+  if (!all_edges && keep_edge.size() != g.num_edges()) {
+    throw std::invalid_argument("induced_subgraph: edge mask size");
+  }
+  Subgraph out;
+  out.parent_to_node.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (all_nodes || keep_node[v]) {
+      out.parent_to_node[v] = static_cast<NodeId>(out.node_to_parent.size());
+      out.node_to_parent.push_back(v);
+    }
+  }
+  std::vector<Edge> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!all_edges && !keep_edge[e]) continue;
+    const Edge& ed = g.edge(e);
+    const NodeId nu = out.parent_to_node[ed.u];
+    const NodeId nv = out.parent_to_node[ed.v];
+    if (nu == kInvalidNode || nv == kInvalidNode) continue;
+    edges.push_back({nu, nv});
+    out.edge_to_parent.push_back(e);
+  }
+  out.graph = Graph(static_cast<NodeId>(out.node_to_parent.size()),
+                    std::move(edges));
+  return out;
+}
+
+}  // namespace lps

@@ -1,0 +1,113 @@
+// Core graph representation: compact CSR adjacency for undirected graphs,
+// with stable edge identifiers shared by matchings, weights and the
+// distributed runtime (an edge id doubles as a communication channel id).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lps {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// Undirected edge; stored with u < v (normalized on construction).
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Immutable undirected graph in CSR form.
+///
+/// Self-loops and parallel edges are rejected: the matching algorithms
+/// and the message model both assume simple graphs (as does the paper).
+class Graph {
+ public:
+  /// Entry in a vertex's incidence list.
+  struct Incidence {
+    NodeId to;
+    EdgeId edge;
+  };
+
+  Graph() = default;
+
+  /// Build from an edge list; endpoints are normalized to u < v.
+  /// Throws std::invalid_argument on self-loops, duplicate edges, or
+  /// endpoints >= n.
+  Graph(NodeId n, std::vector<Edge> edges);
+
+  NodeId num_nodes() const noexcept { return n_; }
+  EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// The endpoint of `e` that is not `v`; requires v to be an endpoint.
+  NodeId other_endpoint(EdgeId e, NodeId v) const {
+    const Edge& ed = edges_[e];
+    return ed.u == v ? ed.v : ed.u;
+  }
+
+  std::span<const Incidence> neighbors(NodeId v) const {
+    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
+  }
+
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  NodeId max_degree() const noexcept { return max_degree_; }
+
+  /// Edge id connecting u and v, or kInvalidEdge. O(min degree).
+  EdgeId find_edge(NodeId u, NodeId v) const;
+
+  /// Two-coloring if the graph is bipartite: side[v] in {0,1}; isolated
+  /// vertices get side 0. Returns std::nullopt when an odd cycle exists.
+  std::optional<std::vector<std::uint8_t>> bipartition() const;
+
+  /// Connected component index per vertex (0-based, by discovery order).
+  std::vector<NodeId> components() const;
+
+ private:
+  NodeId n_ = 0;
+  NodeId max_degree_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::size_t> offsets_;  // n_+1
+  std::vector<Incidence> adj_;        // 2m
+};
+
+/// A graph plus a positive weight per edge.
+struct WeightedGraph {
+  Graph graph;
+  std::vector<double> weights;  // indexed by EdgeId; same size as edges
+
+  double weight(EdgeId e) const { return weights[e]; }
+};
+
+/// Validates the weight vector (size match, strictly positive, finite)
+/// and assembles a WeightedGraph. Throws std::invalid_argument otherwise.
+WeightedGraph make_weighted(Graph graph, std::vector<double> weights);
+
+/// Result of induced-subgraph extraction with mappings back to the parent.
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> node_to_parent;  // subgraph node -> parent node
+  std::vector<EdgeId> edge_to_parent;  // subgraph edge -> parent edge
+  std::vector<NodeId> parent_to_node;  // parent node -> subgraph node or kInvalidNode
+};
+
+/// Keep a vertex iff keep_node[v]; keep an edge iff keep_edge[e] and both
+/// endpoints are kept. Either mask may be empty meaning "keep all".
+Subgraph induced_subgraph(const Graph& g, const std::vector<char>& keep_node,
+                          const std::vector<char>& keep_edge);
+
+}  // namespace lps

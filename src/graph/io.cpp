@@ -1,0 +1,67 @@
+#include "graph/io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lps {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+void write_edge_list(std::ostream& os, const WeightedGraph& wg) {
+  os << wg.graph.num_nodes() << ' ' << wg.graph.num_edges() << " w\n";
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (EdgeId e = 0; e < wg.graph.num_edges(); ++e) {
+    const Edge& ed = wg.graph.edge(e);
+    os << ed.u << ' ' << ed.v << ' ' << wg.weights[e] << '\n';
+  }
+}
+
+ParsedGraph read_edge_list(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) {
+    throw std::invalid_argument("read_edge_list: empty input");
+  }
+  std::istringstream hs(header);
+  std::uint64_t n = 0, m = 0;
+  std::string flag;
+  if (!(hs >> n >> m)) {
+    throw std::invalid_argument("read_edge_list: bad header");
+  }
+  const bool weighted = static_cast<bool>(hs >> flag) && flag == "w";
+  std::vector<Edge> edges;
+  std::vector<double> weights;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint64_t u = 0, v = 0;
+    if (!(is >> u >> v)) {
+      throw std::invalid_argument("read_edge_list: truncated edge list");
+    }
+    edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    if (weighted) {
+      double w = 0;
+      if (!(is >> w)) {
+        throw std::invalid_argument("read_edge_list: missing weight");
+      }
+      weights.push_back(w);
+    }
+  }
+  ParsedGraph out{Graph(static_cast<NodeId>(n), std::move(edges)),
+                  std::nullopt};
+  if (weighted) {
+    // Re-validate through make_weighted (positivity etc.).
+    WeightedGraph wg = make_weighted(std::move(out.graph), std::move(weights));
+    out.graph = std::move(wg.graph);
+    out.weights = std::move(wg.weights);
+  }
+  return out;
+}
+
+}  // namespace lps

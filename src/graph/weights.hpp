@@ -1,0 +1,35 @@
+// Edge-weight models for the weighted-matching experiments, plus the
+// adversarial instances that make greedy baselines hit their worst case.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+
+/// m i.i.d. weights uniform on [lo, hi]; requires 0 < lo <= hi.
+std::vector<double> uniform_weights(EdgeId m, double lo, double hi, Rng& rng);
+
+/// m i.i.d. integer weights uniform on {1, ..., max_w}.
+std::vector<double> integer_weights(EdgeId m, std::uint64_t max_w, Rng& rng);
+
+/// m i.i.d. Exp(mean) weights, shifted by +1 so they stay positive and
+/// the dynamic range stays polynomial.
+std::vector<double> exponential_weights(EdgeId m, double mean, Rng& rng);
+
+/// Weights 2^{c_e} for c_e uniform on {0,...,levels-1}: exercises the
+/// geometric weight classes of the delta-MWM black box.
+std::vector<double> power_of_two_weights(EdgeId m, int levels, Rng& rng);
+
+/// The classic greedy trap: `gadgets` disjoint 3-edge paths with weights
+/// (1, 1+eps, 1). A greedy/locally-heaviest algorithm takes the middle
+/// edge of each gadget (weight 1+eps) while the optimum takes both outer
+/// edges (weight 2), so greedy tends to 1/2 as eps -> 0.
+WeightedGraph greedy_trap_path(NodeId gadgets, double eps);
+
+/// Path 0-1-...-n-1 with strictly increasing weights 1,2,...,n-1: the
+/// worst case for sequential local propagation (locally heaviest edge
+/// algorithms serialize along it).
+WeightedGraph increasing_path(NodeId n);
+
+}  // namespace lps

@@ -1,0 +1,219 @@
+// SyncNetwork<M>: the synchronous message-passing model of the paper's
+// Section 2, executable.
+//
+//   "in each time step, processors send (possibly different) messages to
+//    neighbors, receive messages from neighbors, and perform some local
+//    computation."
+//
+// Faithfulness points:
+//  * Lock-step rounds. A message sent in round r is delivered at the
+//    start of round r+1, and nothing else is ever delivered.
+//  * One message per edge per direction per round (sending twice on the
+//    same channel in one round throws): this is the model under which
+//    the paper's CONGEST bit bounds are stated.
+//  * Every message is metered in bits via a caller-supplied measure, so
+//    LOCAL-vs-CONGEST claims (O(|V|+|E|) vs O(log n) bits) become
+//    measurable quantities in `stats()`.
+//  * Per-(node, round) RNG substreams: the execution is a deterministic
+//    function of the seed, independent of node iteration order — which
+//    also makes thread-pool execution bit-identical to sequential.
+//
+// A node program is any callable `void step(Ctx& ctx)`; persistent node
+// state lives in arrays owned by the algorithm object (indexed by node
+// id). During a parallel round a node may only touch its own state and
+// its own outgoing channels; all algorithms in src/core follow this.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/round_stats.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+
+template <typename M>
+class SyncNetwork {
+ public:
+  /// A delivered message: sender, the edge it traveled on, payload.
+  struct Incoming {
+    NodeId from;
+    EdgeId edge;
+    const M* payload;
+  };
+
+  using BitMeter = std::function<std::uint64_t(const M&)>;
+
+  /// Per-node, per-round execution context.
+  class Ctx {
+   public:
+    NodeId id() const noexcept { return id_; }
+    std::uint64_t round() const noexcept { return net_->round_; }
+    const Graph& graph() const noexcept { return *net_->graph_; }
+    Rng& rng() noexcept { return rng_; }
+    std::span<const Incoming> inbox() const noexcept { return inbox_; }
+
+    /// Send along edge e to the other endpoint (delivered next round).
+    void send(EdgeId e, M msg) {
+      net_->enqueue(id_, e, std::move(msg), *stats_);
+    }
+
+    /// Send a copy of msg to every neighbor.
+    void send_all(const M& msg) {
+      for (const Graph::Incidence& inc : graph().neighbors(id_)) {
+        send(inc.edge, msg);
+      }
+    }
+
+   private:
+    friend class SyncNetwork;
+    SyncNetwork* net_ = nullptr;
+    NodeId id_ = kInvalidNode;
+    Rng rng_{0};
+    std::span<const Incoming> inbox_;
+    NetStats* stats_ = nullptr;
+  };
+
+  SyncNetwork(const Graph& g, std::uint64_t seed, BitMeter meter = {})
+      : graph_(&g),
+        seed_(seed),
+        meter_(meter ? std::move(meter)
+                     : [](const M&) { return std::uint64_t{sizeof(M) * 8}; }),
+        current_(2 * static_cast<std::size_t>(g.num_edges())),
+        next_(2 * static_cast<std::size_t>(g.num_edges())) {}
+
+  /// Optional: step nodes with a thread pool (nullptr = sequential).
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
+  const NetStats& stats() const noexcept { return stats_; }
+  std::uint64_t round() const noexcept { return round_; }
+
+  /// Messages delivered in the most recent round.
+  std::uint64_t last_round_deliveries() const noexcept {
+    return delivered_last_round_;
+  }
+
+  /// Execute one synchronous round: deliver everything sent last round,
+  /// call step(ctx) on every node, collect sends for the next round.
+  template <typename Step>
+  void run_round(Step&& step) {
+    ++stats_.rounds;
+    std::swap(current_, next_);
+    for (auto& slot : next_) slot.reset();
+    delivered_last_round_ = pending_;
+    pending_ = 0;
+
+    const Graph& g = *graph_;
+    auto process_range = [&](std::size_t begin, std::size_t end) {
+      std::vector<Incoming> inbox;
+      NetStats local;
+      for (std::size_t v = begin; v < end; ++v) {
+        const NodeId node = static_cast<NodeId>(v);
+        inbox.clear();
+        for (const Graph::Incidence& inc : g.neighbors(node)) {
+          const auto& slot = current_[slot_index(inc.edge, inc.to)];
+          if (slot.has_value()) {
+            inbox.push_back({inc.to, inc.edge, &*slot});
+          }
+        }
+        Ctx ctx;
+        ctx.net_ = this;
+        ctx.id_ = node;
+        ctx.rng_ = Rng::substream(seed_, std::uint64_t{node}, round_);
+        ctx.inbox_ = std::span<const Incoming>(inbox.data(), inbox.size());
+        ctx.stats_ = &local;
+        step(ctx);
+      }
+      merge_worker_stats(local);
+    };
+
+    if (pool_ != nullptr && pool_->num_threads() > 1) {
+      pool_->parallel_for(0, g.num_nodes(), 256, process_range);
+    } else {
+      process_range(0, g.num_nodes());
+    }
+    stats_.messages += round_messages_;
+    stats_.total_bits += round_bits_;
+    pending_ = round_messages_;
+    round_messages_ = 0;
+    round_bits_ = 0;
+    ++round_;
+  }
+
+  /// Run up to max_rounds; with stop_when_silent, stop after a round in
+  /// which no node sent any message AND nothing is pending (for purely
+  /// message-driven protocols further rounds are no-ops). Returns the
+  /// number of rounds executed.
+  template <typename Step>
+  std::uint64_t run(std::uint64_t max_rounds, bool stop_when_silent,
+                    Step&& step) {
+    std::uint64_t executed = 0;
+    for (; executed < max_rounds; ++executed) {
+      run_round(step);
+      if (stop_when_silent && pending_ == 0) {
+        ++executed;
+        break;
+      }
+    }
+    return executed;
+  }
+
+ private:
+  std::size_t slot_index(EdgeId e, NodeId sender) const {
+    return 2 * static_cast<std::size_t>(e) +
+           (graph_->edge(e).v == sender ? 1 : 0);
+  }
+
+  void enqueue(NodeId from, EdgeId e, M msg, NetStats& local) {
+    const Edge& ed = graph_->edge(e);
+    if (ed.u != from && ed.v != from) {
+      throw std::logic_error("SyncNetwork::send: sender not an endpoint");
+    }
+    auto& slot = next_[slot_index(e, from)];
+    if (slot.has_value()) {
+      throw std::logic_error(
+          "SyncNetwork::send: two messages on one channel in one round");
+    }
+    local.note_message(meter_(msg));
+    slot.emplace(std::move(msg));
+  }
+
+  void merge_worker_stats(const NetStats& local) {
+    // Called once per worker chunk batch; guarded when parallel.
+    if (pool_ != nullptr && pool_->num_threads() > 1) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      round_messages_ += local.messages;
+      round_bits_ += local.total_bits;
+      stats_.max_message_bits =
+          std::max(stats_.max_message_bits, local.max_message_bits);
+    } else {
+      round_messages_ += local.messages;
+      round_bits_ += local.total_bits;
+      stats_.max_message_bits =
+          std::max(stats_.max_message_bits, local.max_message_bits);
+    }
+  }
+
+  const Graph* graph_;
+  std::uint64_t seed_;
+  BitMeter meter_;
+  ThreadPool* pool_ = nullptr;
+
+  std::vector<std::optional<M>> current_;  // delivered this round
+  std::vector<std::optional<M>> next_;     // sent this round
+  std::uint64_t round_ = 0;
+  std::uint64_t pending_ = 0;  // messages awaiting delivery next round
+  std::uint64_t delivered_last_round_ = 0;
+  std::uint64_t round_messages_ = 0;
+  std::uint64_t round_bits_ = 0;
+  NetStats stats_;
+  std::mutex stats_mutex_;
+};
+
+}  // namespace lps

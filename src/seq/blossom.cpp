@@ -1,0 +1,137 @@
+#include "seq/blossom.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lps {
+
+namespace {
+
+/// Classic array-based blossom implementation (contract-and-augment).
+struct BlossomSolver {
+  const Graph& g;
+  const NodeId n;
+  std::vector<NodeId> match, parent, base;
+  std::vector<char> used, in_blossom;
+  std::vector<NodeId> queue;
+
+  explicit BlossomSolver(const Graph& g_in)
+      : g(g_in),
+        n(g_in.num_nodes()),
+        match(n, kInvalidNode),
+        parent(n, kInvalidNode),
+        base(n, 0),
+        used(n, 0),
+        in_blossom(n, 0) {}
+
+  NodeId lowest_common_ancestor(NodeId a, NodeId b) {
+    std::vector<char> seen(n, 0);
+    for (;;) {
+      a = base[a];
+      seen[a] = 1;
+      if (match[a] == kInvalidNode) break;
+      a = parent[match[a]];
+    }
+    for (;;) {
+      b = base[b];
+      if (seen[b]) return b;
+      b = parent[match[b]];
+    }
+  }
+
+  void mark_path(NodeId v, NodeId stem, NodeId child) {
+    while (base[v] != stem) {
+      in_blossom[base[v]] = 1;
+      in_blossom[base[match[v]]] = 1;
+      parent[v] = child;
+      child = match[v];
+      v = parent[match[v]];
+    }
+  }
+
+  /// BFS for an augmenting path from `root`; augments and returns true.
+  bool find_and_augment(NodeId root) {
+    std::fill(used.begin(), used.end(), 0);
+    std::fill(parent.begin(), parent.end(), kInvalidNode);
+    for (NodeId i = 0; i < n; ++i) base[i] = i;
+    used[root] = 1;
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      for (const Graph::Incidence& inc : g.neighbors(v)) {
+        const NodeId to = inc.to;
+        if (base[v] == base[to] || match[v] == to) continue;
+        if (to == root ||
+            (match[to] != kInvalidNode && parent[match[to]] != kInvalidNode)) {
+          // Odd cycle found: contract the blossom.
+          const NodeId stem = lowest_common_ancestor(v, to);
+          std::fill(in_blossom.begin(), in_blossom.end(), 0);
+          mark_path(v, stem, to);
+          mark_path(to, stem, v);
+          for (NodeId i = 0; i < n; ++i) {
+            if (in_blossom[base[i]]) {
+              base[i] = stem;
+              if (!used[i]) {
+                used[i] = 1;
+                queue.push_back(i);
+              }
+            }
+          }
+        } else if (parent[to] == kInvalidNode) {
+          parent[to] = v;
+          if (match[to] == kInvalidNode) {
+            // Augment along the alternating tree path ending at `to`.
+            NodeId u = to;
+            while (u != kInvalidNode) {
+              const NodeId pv = parent[u];
+              const NodeId ppv = match[pv];
+              match[u] = pv;
+              match[pv] = u;
+              u = ppv;
+            }
+            return true;
+          }
+          used[match[to]] = 1;
+          queue.push_back(match[to]);
+        }
+      }
+    }
+    return false;
+  }
+
+  void run() {
+    // Greedy initialization halves the number of BFS phases in practice.
+    for (NodeId v = 0; v < n; ++v) {
+      if (match[v] != kInvalidNode) continue;
+      for (const Graph::Incidence& inc : g.neighbors(v)) {
+        if (match[inc.to] == kInvalidNode) {
+          match[v] = inc.to;
+          match[inc.to] = v;
+          break;
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (match[v] == kInvalidNode) find_and_augment(v);
+    }
+  }
+};
+
+}  // namespace
+
+Matching blossom_mcm(const Graph& g) {
+  BlossomSolver solver(g);
+  solver.run();
+  std::vector<EdgeId> ids;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const NodeId u = solver.match[v];
+    if (u != kInvalidNode && v < u) {
+      const EdgeId e = g.find_edge(v, u);
+      ids.push_back(e);
+    }
+  }
+  return Matching::from_edges(g, ids);
+}
+
+}  // namespace lps

@@ -1,0 +1,12 @@
+// Edmonds' blossom algorithm: exact maximum-cardinality matching in
+// general graphs, O(V^3). Serves as the |M*| oracle for every
+// approximation-ratio measurement on non-bipartite inputs.
+#pragma once
+
+#include "graph/matching.hpp"
+
+namespace lps {
+
+Matching blossom_mcm(const Graph& g);
+
+}  // namespace lps

@@ -1,0 +1,91 @@
+#include "seq/exact_small.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lps {
+
+namespace {
+
+/// Memoized best value over "used vertex" masks. The recursion always
+/// branches on the lowest unused vertex: either leave it unmatched or
+/// match it to an unused neighbor, so every matching is explored once.
+struct SmallSolver {
+  const Graph& g;
+  const std::vector<double>* weights;  // null => cardinality
+  std::unordered_map<std::uint32_t, double> memo;
+
+  double value(EdgeId e) const { return weights ? (*weights)[e] : 1.0; }
+
+  double best(std::uint32_t used) {
+    const std::uint32_t full = (g.num_nodes() == 32)
+                                   ? 0xffffffffu
+                                   : ((1u << g.num_nodes()) - 1);
+    if ((used & full) == full) return 0.0;
+    if (auto it = memo.find(used); it != memo.end()) return it->second;
+    const NodeId v = static_cast<NodeId>(std::countr_one(used));
+    // Option 1: v stays unmatched.
+    double result = best(used | (1u << v));
+    // Option 2: match v with an unused neighbor.
+    for (const Graph::Incidence& inc : g.neighbors(v)) {
+      if (used & (1u << inc.to)) continue;
+      result = std::max(result, value(inc.edge) +
+                                    best(used | (1u << v) | (1u << inc.to)));
+    }
+    memo.emplace(used, result);
+    return result;
+  }
+
+  /// Reconstruct one optimal matching by replaying the recursion.
+  std::vector<EdgeId> reconstruct() {
+    std::vector<EdgeId> ids;
+    std::uint32_t used = 0;
+    const std::uint32_t full = (g.num_nodes() == 32)
+                                   ? 0xffffffffu
+                                   : ((1u << g.num_nodes()) - 1);
+    while ((used & full) != full) {
+      const NodeId v = static_cast<NodeId>(std::countr_one(used));
+      const double target = best(used);
+      if (best(used | (1u << v)) == target) {
+        used |= (1u << v);
+        continue;
+      }
+      bool advanced = false;
+      for (const Graph::Incidence& inc : g.neighbors(v)) {
+        if (used & (1u << inc.to)) continue;
+        const std::uint32_t next = used | (1u << v) | (1u << inc.to);
+        if (value(inc.edge) + best(next) == target) {
+          ids.push_back(inc.edge);
+          used = next;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        throw std::logic_error("exact_small: reconstruction failed");
+      }
+    }
+    return ids;
+  }
+};
+
+Matching solve(const Graph& g, const std::vector<double>* weights) {
+  if (g.num_nodes() > 30) {
+    throw std::invalid_argument("exact_small: graph too large (n > 30)");
+  }
+  if (g.num_nodes() == 0) return Matching(0);
+  SmallSolver solver{g, weights, {}};
+  solver.best(0);
+  return Matching::from_edges(g, solver.reconstruct());
+}
+
+}  // namespace
+
+Matching exact_mcm_small(const Graph& g) { return solve(g, nullptr); }
+
+Matching exact_mwm_small(const WeightedGraph& wg) {
+  return solve(wg.graph, &wg.weights);
+}
+
+}  // namespace lps

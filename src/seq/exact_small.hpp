@@ -1,0 +1,18 @@
+// Exhaustive exact matching solvers for tiny graphs (n <= 30): the
+// oracles that validate Hopcroft–Karp, blossom, and Hungarian, and the
+// only exact w(M*) source for *general* weighted graphs in the test
+// suite (exact general MWM at scale is out of scope; see DESIGN.md).
+#pragma once
+
+#include "graph/matching.hpp"
+
+namespace lps {
+
+/// Exact maximum-cardinality matching by memoized recursion over vertex
+/// subsets. Requires n <= 30 (checked). Exponential: use on tiny graphs.
+Matching exact_mcm_small(const Graph& g);
+
+/// Exact maximum-weight matching, same technique and limits.
+Matching exact_mwm_small(const WeightedGraph& wg);
+
+}  // namespace lps

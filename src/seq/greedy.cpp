@@ -1,0 +1,81 @@
+#include "seq/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lps {
+
+Matching greedy_mcm(const Graph& g) {
+  Matching m(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (m.is_free(ed.u) && m.is_free(ed.v)) m.add(g, e);
+  }
+  return m;
+}
+
+Matching greedy_mwm(const WeightedGraph& wg) {
+  const Graph& g = wg.graph;
+  std::vector<EdgeId> order(g.num_edges());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](EdgeId a, EdgeId b) {
+    if (wg.weights[a] != wg.weights[b]) return wg.weights[a] > wg.weights[b];
+    return a < b;
+  });
+  Matching m(g.num_nodes());
+  for (EdgeId e : order) {
+    const Edge& ed = g.edge(e);
+    if (m.is_free(ed.u) && m.is_free(ed.v)) m.add(g, e);
+  }
+  return m;
+}
+
+Matching locally_heaviest_mwm(const WeightedGraph& wg) {
+  const Graph& g = wg.graph;
+  // An edge dominates if no *remaining* adjacent edge is strictly
+  // heavier (ties broken by id). Removing matched endpoints can promote
+  // new dominant edges, so we process a worklist seeded with all edges.
+  auto heavier = [&](EdgeId a, EdgeId b) {
+    if (wg.weights[a] != wg.weights[b]) return wg.weights[a] > wg.weights[b];
+    return a < b;
+  };
+  Matching m(g.num_nodes());
+  std::vector<char> dead(g.num_edges(), 0);
+  auto dominant = [&](EdgeId e) {
+    const Edge& ed = g.edge(e);
+    for (const NodeId endpoint : {ed.u, ed.v}) {
+      for (const Graph::Incidence& inc : g.neighbors(endpoint)) {
+        if (inc.edge != e && !dead[inc.edge] && heavier(inc.edge, e)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  std::vector<EdgeId> work(g.num_edges());
+  std::iota(work.begin(), work.end(), 0);
+  while (!work.empty()) {
+    std::vector<EdgeId> next;
+    bool progress = false;
+    for (EdgeId e : work) {
+      if (dead[e]) continue;
+      if (!dominant(e)) {
+        next.push_back(e);
+        continue;
+      }
+      progress = true;
+      const Edge& ed = g.edge(e);
+      m.add(g, e);
+      for (const NodeId endpoint : {ed.u, ed.v}) {
+        for (const Graph::Incidence& inc : g.neighbors(endpoint)) {
+          dead[inc.edge] = 1;
+        }
+      }
+    }
+    if (!progress) break;  // should not happen; defensive
+    work = std::move(next);
+  }
+  return m;
+}
+
+}  // namespace lps

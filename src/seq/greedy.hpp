@@ -1,0 +1,24 @@
+// Sequential greedy baselines. The paper's introduction: "the greedy
+// algorithm (that repeatedly adds the heaviest remaining edge ...) finds
+// a 1/2-MCM or 1/2-MWM".
+#pragma once
+
+#include "graph/matching.hpp"
+
+namespace lps {
+
+/// Maximal matching by scanning edges in id order (a 1/2-MCM).
+Matching greedy_mcm(const Graph& g);
+
+/// Greedy by descending weight (ties by edge id): the classical 1/2-MWM.
+Matching greedy_mwm(const WeightedGraph& wg);
+
+/// Locally-heaviest-edge algorithm (Preis-style): repeatedly add any edge
+/// that is at least as heavy as all adjacent remaining edges. Produces a
+/// 1/2-MWM; implemented with a worklist, O(m log m). With consistent tie
+/// breaking its result equals greedy_mwm's weight guarantee but the
+/// insertion order differs, which exercises different code paths in
+/// verification.
+Matching locally_heaviest_mwm(const WeightedGraph& wg);
+
+}  // namespace lps

@@ -1,0 +1,107 @@
+#include "seq/hopcroft_karp.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace lps {
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+struct HkState {
+  const Graph& g;
+  const std::vector<std::uint8_t>& side;
+  std::vector<NodeId> mate;       // node -> mate or kInvalidNode
+  std::vector<EdgeId> mate_edge;  // node -> matched edge id
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> queue;
+
+  explicit HkState(const Graph& g_in, const std::vector<std::uint8_t>& s)
+      : g(g_in),
+        side(s),
+        mate(g_in.num_nodes(), kInvalidNode),
+        mate_edge(g_in.num_nodes(), kInvalidEdge),
+        dist(g_in.num_nodes(), kInf) {}
+
+  /// Layered BFS from free X nodes; true iff a free Y node is reachable.
+  bool bfs() {
+    queue.clear();
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (side[v] == 0 && mate[v] == kInvalidNode) {
+        dist[v] = 0;
+        queue.push_back(v);
+      } else if (side[v] == 0) {
+        dist[v] = kInf;
+      }
+    }
+    bool reachable_free_y = false;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId x = queue[head];
+      for (const Graph::Incidence& inc : g.neighbors(x)) {
+        const NodeId y = inc.to;
+        const NodeId xx = mate[y];
+        if (xx == kInvalidNode) {
+          reachable_free_y = true;
+        } else if (dist[xx] == kInf) {
+          dist[xx] = dist[x] + 1;
+          queue.push_back(xx);
+        }
+      }
+    }
+    return reachable_free_y;
+  }
+
+  /// Layered DFS augmenting from X node x.
+  bool dfs(NodeId x) {
+    for (const Graph::Incidence& inc : g.neighbors(x)) {
+      const NodeId y = inc.to;
+      const NodeId xx = mate[y];
+      if (xx == kInvalidNode ||
+          (dist[xx] == dist[x] + 1 && dfs(xx))) {
+        mate[x] = y;
+        mate[y] = x;
+        mate_edge[x] = inc.edge;
+        mate_edge[y] = inc.edge;
+        return true;
+      }
+    }
+    dist[x] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const Graph& g, const std::vector<std::uint8_t>& side) {
+  if (side.size() != g.num_nodes()) {
+    throw std::invalid_argument("hopcroft_karp: side size mismatch");
+  }
+  for (const Edge& e : g.edges()) {
+    if (side[e.u] == side[e.v]) {
+      throw std::invalid_argument("hopcroft_karp: side is not a 2-coloring");
+    }
+  }
+  HkState st(g, side);
+  while (st.bfs()) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (side[v] == 0 && st.mate[v] == kInvalidNode) st.dfs(v);
+    }
+  }
+  std::vector<EdgeId> ids;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (side[v] == 0 && st.mate_edge[v] != kInvalidEdge) {
+      ids.push_back(st.mate_edge[v]);
+    }
+  }
+  return Matching::from_edges(g, ids);
+}
+
+Matching hopcroft_karp(const Graph& g) {
+  auto side = g.bipartition();
+  if (!side) throw std::invalid_argument("hopcroft_karp: graph not bipartite");
+  return hopcroft_karp(g, *side);
+}
+
+}  // namespace lps

@@ -1,0 +1,18 @@
+// Hopcroft–Karp exact maximum-cardinality matching for bipartite graphs
+// (reference [13] of the paper, whose Lemmas 3.4/3.5 underpin
+// Algorithm 1). O(E sqrt(V)).
+#pragma once
+
+#include "graph/matching.hpp"
+
+namespace lps {
+
+/// side[v] in {0,1} must be a proper 2-coloring (every edge bichromatic);
+/// throws std::invalid_argument otherwise.
+Matching hopcroft_karp(const Graph& g, const std::vector<std::uint8_t>& side);
+
+/// Convenience: derives a bipartition (throws if the graph is not
+/// bipartite) and runs Hopcroft–Karp.
+Matching hopcroft_karp(const Graph& g);
+
+}  // namespace lps

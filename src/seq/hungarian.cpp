@@ -1,0 +1,124 @@
+#include "seq/hungarian.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lps {
+
+AssignmentResult max_weight_assignment(
+    const std::vector<std::vector<double>>& profit) {
+  const std::size_t rows = profit.size();
+  std::size_t cols = 0;
+  for (const auto& r : profit) cols = std::max(cols, r.size());
+  const std::size_t s = std::max(rows, cols);  // pad to square with zeros
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Minimization form: cost = -profit, padded with 0 (== stay unmatched).
+  auto cost = [&](std::size_t i, std::size_t j) -> double {
+    if (i < rows && j < profit[i].size()) {
+      const double p = profit[i][j];
+      if (p < 0.0) {
+        throw std::invalid_argument("max_weight_assignment: negative profit");
+      }
+      return -p;
+    }
+    return 0.0;
+  };
+
+  // 1-based potentials over a square matrix (classic implementation).
+  std::vector<double> u(s + 1, 0.0), v(s + 1, 0.0);
+  std::vector<std::size_t> p(s + 1, 0), way(s + 1, 0);
+  for (std::size_t i = 1; i <= s; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(s + 1, kInf);
+    std::vector<char> used(s + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= s; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= s; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  AssignmentResult out;
+  out.row_to_col.assign(rows, -1);
+  for (std::size_t j = 1; j <= s; ++j) {
+    const std::size_t i = p[j];
+    if (i >= 1 && i <= rows && j <= cols) {
+      const std::size_t row = i - 1, col = j - 1;
+      if (col < profit[row].size() && profit[row][col] > 0.0) {
+        out.row_to_col[row] = static_cast<int>(col);
+        out.total_profit += profit[row][col];
+      }
+    }
+  }
+  return out;
+}
+
+Matching hungarian_mwm(const WeightedGraph& wg,
+                       const std::vector<std::uint8_t>& side) {
+  const Graph& g = wg.graph;
+  if (side.size() != g.num_nodes()) {
+    throw std::invalid_argument("hungarian_mwm: side size mismatch");
+  }
+  std::vector<NodeId> xs, ys;
+  std::vector<NodeId> index(g.num_nodes(), kInvalidNode);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (side[v] == 0) {
+      index[v] = static_cast<NodeId>(xs.size());
+      xs.push_back(v);
+    } else {
+      index[v] = static_cast<NodeId>(ys.size());
+      ys.push_back(v);
+    }
+  }
+  std::vector<std::vector<double>> profit(xs.size(),
+                                          std::vector<double>(ys.size(), 0.0));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (side[ed.u] == side[ed.v]) {
+      throw std::invalid_argument("hungarian_mwm: side is not a 2-coloring");
+    }
+    const NodeId x = side[ed.u] == 0 ? ed.u : ed.v;
+    const NodeId y = side[ed.u] == 0 ? ed.v : ed.u;
+    profit[index[x]][index[y]] = wg.weights[e];
+  }
+  const AssignmentResult res = max_weight_assignment(profit);
+  std::vector<EdgeId> ids;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (res.row_to_col[i] < 0) continue;
+    const NodeId x = xs[i];
+    const NodeId y = ys[static_cast<std::size_t>(res.row_to_col[i])];
+    ids.push_back(g.find_edge(x, y));
+  }
+  return Matching::from_edges(g, ids);
+}
+
+}  // namespace lps

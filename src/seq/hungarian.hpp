@@ -1,0 +1,30 @@
+// Hungarian algorithm (Jonker–Volgenant potentials, O(n^3)): exact
+// maximum-weight assignment, used as the w(M*) oracle on bipartite
+// weighted inputs and as the MaxWeight oracle scheduler in the switch
+// application.
+#pragma once
+
+#include <vector>
+
+#include "graph/matching.hpp"
+
+namespace lps {
+
+struct AssignmentResult {
+  /// For each row, the assigned column or -1 (unassigned / zero-profit).
+  std::vector<int> row_to_col;
+  double total_profit = 0.0;
+};
+
+/// Maximum-total-profit assignment for a dense profit matrix. Profits
+/// must be >= 0; zero-profit assignments are reported as unassigned.
+/// Rows and columns may differ in count.
+AssignmentResult max_weight_assignment(
+    const std::vector<std::vector<double>>& profit);
+
+/// Exact maximum-weight matching of a bipartite weighted graph.
+/// side[v] in {0,1} must 2-color every edge.
+Matching hungarian_mwm(const WeightedGraph& wg,
+                       const std::vector<std::uint8_t>& side);
+
+}  // namespace lps

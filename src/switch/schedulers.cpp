@@ -1,0 +1,204 @@
+#include "switch/schedulers.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bipartite_mcm.hpp"
+#include "graph/graph.hpp"
+#include "seq/hopcroft_karp.hpp"
+#include "seq/hungarian.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+
+namespace {
+
+/// Build the bipartite demand graph: inputs [0,n) as X, outputs [n,2n)
+/// as Y, one edge per non-empty VOQ. Returns graph + side labels.
+std::pair<Graph, std::vector<std::uint8_t>> demand_graph(
+    const QueueMatrix& q) {
+  const std::size_t n = q.size();
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (q[i][j] > 0) {
+        edges.push_back({static_cast<NodeId>(i), static_cast<NodeId>(n + j)});
+      }
+    }
+  }
+  Graph g(static_cast<NodeId>(2 * n), std::move(edges));
+  std::vector<std::uint8_t> side(2 * n, 0);
+  for (std::size_t j = 0; j < n; ++j) side[n + j] = 1;
+  return {std::move(g), std::move(side)};
+}
+
+std::vector<int> matching_to_assignment(const Graph& g, const Matching& m,
+                                        std::size_t n) {
+  std::vector<int> out(n, -1);
+  for (EdgeId e : m.edge_ids(g)) {
+    const Edge& ed = g.edge(e);
+    out[ed.u] = static_cast<int>(ed.v - n);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PimScheduler::name() const {
+  return "PIM-" + std::to_string(iterations_);
+}
+
+std::vector<int> PimScheduler::schedule(const QueueMatrix& q) {
+  const std::size_t n = q.size();
+  std::vector<int> input_match(n, -1);
+  std::vector<int> output_match(n, -1);
+  for (int it = 0; it < iterations_; ++it) {
+    // Request: every unmatched input requests all outputs with cells.
+    // Grant: every unmatched output grants one request at random.
+    std::vector<std::vector<int>> grants(n);  // grants[input] = outputs
+    for (std::size_t j = 0; j < n; ++j) {
+      if (output_match[j] != -1) continue;
+      std::vector<int> requests;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (input_match[i] == -1 && q[i][j] > 0) {
+          requests.push_back(static_cast<int>(i));
+        }
+      }
+      if (requests.empty()) continue;
+      const int granted = requests[rng_.below(requests.size())];
+      grants[granted].push_back(static_cast<int>(j));
+    }
+    // Accept: every input with grants accepts one at random.
+    bool progress = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (grants[i].empty()) continue;
+      const int j = grants[i][rng_.below(grants[i].size())];
+      input_match[i] = j;
+      output_match[j] = static_cast<int>(i);
+      progress = true;
+    }
+    if (!progress) break;
+  }
+  return input_match;
+}
+
+std::string IslipScheduler::name() const {
+  return "iSLIP-" + std::to_string(iterations_);
+}
+
+std::vector<int> IslipScheduler::schedule(const QueueMatrix& q) {
+  const std::size_t n = q.size();
+  if (grant_ptr_.size() != n) {
+    grant_ptr_.assign(n, 0);
+    accept_ptr_.assign(n, 0);
+  }
+  std::vector<int> input_match(n, -1);
+  std::vector<int> output_match(n, -1);
+  for (int it = 0; it < iterations_; ++it) {
+    // Grant: each unmatched output grants the first requesting input at
+    // or after its grant pointer (round robin).
+    std::vector<std::vector<int>> grants(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (output_match[j] != -1) continue;
+      for (std::size_t step = 0; step < n; ++step) {
+        const std::size_t i = (grant_ptr_[j] + step) % n;
+        if (input_match[i] == -1 && q[i][j] > 0) {
+          grants[i].push_back(static_cast<int>(j));
+          break;
+        }
+      }
+    }
+    // Accept: each input accepts the first grant at or after its accept
+    // pointer; pointers advance only on first-iteration accepts.
+    bool progress = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (grants[i].empty()) continue;
+      int chosen = -1;
+      for (std::size_t step = 0; step < n && chosen == -1; ++step) {
+        const std::size_t j = (accept_ptr_[i] + step) % n;
+        for (int gj : grants[i]) {
+          if (static_cast<std::size_t>(gj) == j) {
+            chosen = gj;
+            break;
+          }
+        }
+      }
+      input_match[i] = chosen;
+      output_match[chosen] = static_cast<int>(i);
+      progress = true;
+      if (it == 0) {
+        grant_ptr_[chosen] = (i + 1) % n;
+        accept_ptr_[i] = (static_cast<std::size_t>(chosen) + 1) % n;
+      }
+    }
+    if (!progress) break;
+  }
+  return input_match;
+}
+
+std::string GreedyScheduler::name() const { return "Greedy-LQF"; }
+
+std::vector<int> GreedyScheduler::schedule(const QueueMatrix& q) {
+  const std::size_t n = q.size();
+  struct Cell {
+    std::uint32_t len;
+    std::size_t i, j;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (q[i][j] > 0) cells.push_back({q[i][j], i, j});
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const Cell& a, const Cell& b) {
+    if (a.len != b.len) return a.len > b.len;
+    if (a.i != b.i) return a.i < b.i;
+    return a.j < b.j;
+  });
+  std::vector<int> input_match(n, -1);
+  std::vector<char> output_used(n, 0);
+  for (const Cell& c : cells) {
+    if (input_match[c.i] == -1 && !output_used[c.j]) {
+      input_match[c.i] = static_cast<int>(c.j);
+      output_used[c.j] = 1;
+    }
+  }
+  return input_match;
+}
+
+std::string MaxSizeScheduler::name() const { return "MaxSize-HK"; }
+
+std::vector<int> MaxSizeScheduler::schedule(const QueueMatrix& q) {
+  auto [g, side] = demand_graph(q);
+  const Matching m = hopcroft_karp(g, side);
+  return matching_to_assignment(g, m, q.size());
+}
+
+std::string MaxWeightScheduler::name() const { return "MaxWeight-Hungarian"; }
+
+std::vector<int> MaxWeightScheduler::schedule(const QueueMatrix& q) {
+  const std::size_t n = q.size();
+  std::vector<std::vector<double>> profit(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      profit[i][j] = static_cast<double>(q[i][j]);
+    }
+  }
+  const AssignmentResult res = max_weight_assignment(profit);
+  return res.row_to_col;
+}
+
+std::string DistMcmScheduler::name() const {
+  return "DistMCM-k" + std::to_string(k_);
+}
+
+std::vector<int> DistMcmScheduler::schedule(const QueueMatrix& q) {
+  auto [g, side] = demand_graph(q);
+  BipartiteMcmOptions opts;
+  opts.k = k_;
+  opts.seed = splitmix64(seed_ ^ (++slot_ * 0x2545f4914f6cdd1dULL));
+  const BipartiteMcmResult res = bipartite_mcm(g, side, opts);
+  return matching_to_assignment(g, res.matching, q.size());
+}
+
+}  // namespace lps

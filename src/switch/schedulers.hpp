@@ -1,0 +1,94 @@
+// Crossbar schedulers. Each slot, a scheduler picks a (partial)
+// matching between inputs and outputs over the non-empty VOQs.
+//
+// Implemented:
+//  * PIM    — DEC AN2's Parallel Iterative Matching [3]: random
+//             request/grant/accept iterations (the paper notes PIM is
+//             built on Israeli–Itai's ideas).
+//  * iSLIP  — McKeown's round-robin refinement of PIM [23].
+//  * Greedy — longest-queue-first maximal matching.
+//  * MaxSize   — Hopcroft–Karp maximum matching oracle (centralized).
+//  * MaxWeight — Hungarian maximum-weight (queue lengths) oracle.
+//  * DistMCM   — this paper's bipartite (1-1/(k+1))-MCM (Theorem 3.8)
+//                used as a switch scheduler: the motivating application
+//                of the paper's introduction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lps {
+
+/// q[i][j] = number of cells queued at input i for output j.
+using QueueMatrix = std::vector<std::vector<std::uint32_t>>;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  /// For each input, the matched output or -1. The result must be a
+  /// matching (each output used at most once) over non-empty VOQs.
+  virtual std::vector<int> schedule(const QueueMatrix& q) = 0;
+};
+
+class PimScheduler : public Scheduler {
+ public:
+  explicit PimScheduler(int iterations = 4, std::uint64_t seed = 1)
+      : iterations_(iterations), rng_(seed) {}
+  std::string name() const override;
+  std::vector<int> schedule(const QueueMatrix& q) override;
+
+ private:
+  int iterations_;
+  Rng rng_;
+};
+
+class IslipScheduler : public Scheduler {
+ public:
+  explicit IslipScheduler(int iterations = 4)
+      : iterations_(iterations) {}
+  std::string name() const override;
+  std::vector<int> schedule(const QueueMatrix& q) override;
+
+ private:
+  int iterations_;
+  std::vector<std::size_t> grant_ptr_;   // per output
+  std::vector<std::size_t> accept_ptr_;  // per input
+};
+
+class GreedyScheduler : public Scheduler {
+ public:
+  std::string name() const override;
+  std::vector<int> schedule(const QueueMatrix& q) override;
+};
+
+class MaxSizeScheduler : public Scheduler {
+ public:
+  std::string name() const override;
+  std::vector<int> schedule(const QueueMatrix& q) override;
+};
+
+class MaxWeightScheduler : public Scheduler {
+ public:
+  std::string name() const override;
+  std::vector<int> schedule(const QueueMatrix& q) override;
+};
+
+class DistMcmScheduler : public Scheduler {
+ public:
+  explicit DistMcmScheduler(int k = 2, std::uint64_t seed = 1)
+      : k_(k), seed_(seed) {}
+  std::string name() const override;
+  std::vector<int> schedule(const QueueMatrix& q) override;
+
+ private:
+  int k_;
+  std::uint64_t seed_;
+  std::uint64_t slot_ = 0;
+};
+
+}  // namespace lps

@@ -1,0 +1,66 @@
+#include "switch/traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lps {
+
+std::string to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kDiagonal:
+      return "diagonal";
+    case TrafficPattern::kLogDiagonal:
+      return "logdiagonal";
+    case TrafficPattern::kHotspot:
+      return "hotspot";
+  }
+  return "?";
+}
+
+std::vector<std::vector<double>> traffic_matrix(TrafficPattern pattern,
+                                                std::size_t ports,
+                                                double load) {
+  if (ports == 0) throw std::invalid_argument("traffic_matrix: ports == 0");
+  if (load < 0.0 || load > 1.0) {
+    throw std::invalid_argument("traffic_matrix: load must be in [0,1]");
+  }
+  const std::size_t n = ports;
+  std::vector<std::vector<double>> lambda(n, std::vector<double>(n, 0.0));
+  switch (pattern) {
+    case TrafficPattern::kUniform:
+      for (auto& row : lambda) {
+        for (auto& x : row) x = load / static_cast<double>(n);
+      }
+      break;
+    case TrafficPattern::kDiagonal:
+      for (std::size_t i = 0; i < n; ++i) {
+        lambda[i][i] += load * 2.0 / 3.0;
+        lambda[i][(i + 1) % n] += load / 3.0;
+      }
+      break;
+    case TrafficPattern::kLogDiagonal: {
+      // Weights 2^{-k} for offset k = 0..n-1, normalized.
+      double norm = 0.0;
+      for (std::size_t k = 0; k < n; ++k) norm += std::ldexp(1.0, -(int)k);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = 0; k < n; ++k) {
+          lambda[i][(i + k) % n] = load * std::ldexp(1.0, -(int)k) / norm;
+        }
+      }
+      break;
+    }
+    case TrafficPattern::kHotspot:
+      for (std::size_t i = 0; i < n; ++i) {
+        lambda[i][i] += load / 2.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          lambda[i][j] += load / (2.0 * static_cast<double>(n));
+        }
+      }
+      break;
+  }
+  return lambda;
+}
+
+}  // namespace lps

@@ -1,0 +1,30 @@
+// Traffic models for the input-queued switch application (the paper's
+// motivating example: "internal scheduling of a communication switch").
+// A pattern is an N x N matrix of per-slot Bernoulli arrival
+// probabilities lambda[i][j] (input i -> output j), admissible when all
+// row and column sums are <= 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lps {
+
+enum class TrafficPattern {
+  kUniform,      // lambda_ij = load / N
+  kDiagonal,     // 2/3 load on (i,i), 1/3 on (i, i+1 mod N)
+  kLogDiagonal,  // lambda_{i, i+k} proportional to 2^{-k}
+  kHotspot,      // half of each input's load on its "home" output
+};
+
+std::string to_string(TrafficPattern p);
+
+/// Build the arrival probability matrix; load in [0, 1] is each input's
+/// total arrival rate (row sum). All patterns keep column sums == load,
+/// so every load < 1 is admissible.
+std::vector<std::vector<double>> traffic_matrix(TrafficPattern pattern,
+                                                std::size_t ports,
+                                                double load);
+
+}  // namespace lps

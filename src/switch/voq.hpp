@@ -1,0 +1,41 @@
+// Input-queued crossbar switch simulator with virtual output queues
+// (VOQs): the paper's motivating application. Each time slot: Bernoulli
+// cell arrivals per (input, output) pair, one scheduling decision, and
+// the crossbar transfers at most one cell per input and per output (a
+// partial permutation — exactly the matching abstraction of the paper's
+// introduction).
+#pragma once
+
+#include <cstdint>
+
+#include "switch/schedulers.hpp"
+#include "switch/traffic.hpp"
+
+namespace lps {
+
+struct SwitchConfig {
+  std::size_t ports = 16;
+  std::uint64_t slots = 20000;
+  std::uint64_t warmup = 2000;  // slots excluded from delay statistics
+  double load = 0.8;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  std::uint64_t seed = 1;
+};
+
+struct SwitchMetrics {
+  std::uint64_t arrived = 0;
+  std::uint64_t delivered = 0;
+  /// Delivered cells per slot per port, normalized by offered load:
+  /// 1.0 means the switch kept up with arrivals.
+  double normalized_throughput = 0.0;
+  /// Mean/99th-percentile delay in slots over cells that both arrived
+  /// and departed after warmup.
+  double mean_delay = 0.0;
+  double p99_delay = 0.0;
+  /// Mean total queue occupancy (cells) over measured slots.
+  double mean_queue = 0.0;
+};
+
+SwitchMetrics run_switch(const SwitchConfig& config, Scheduler& scheduler);
+
+}  // namespace lps

@@ -1,0 +1,122 @@
+// Deterministic random number generation for the whole library.
+//
+// All randomized algorithms in this repository draw exclusively from
+// `lps::Rng` so that every run is reproducible from a single 64-bit seed.
+// Distributed algorithms additionally need *per-node, per-round* streams
+// that are independent of scheduling order; `Rng::substream` derives such
+// streams by hashing (seed, salt...) with SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+namespace lps {
+
+/// SplitMix64 hash step: the standard finalizer used both to seed
+/// xoshiro and to derive independent substreams.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    // Expand the seed into four non-zero state words via SplitMix64.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire-style rejection to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Fast path for power-of-two bounds.
+    if ((bound & (bound - 1)) == 0) return (*this)() & (bound - 1);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform real in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in (0, 1] — never zero, safe for log().
+  double uniform01_open() noexcept {
+    return (static_cast<double>((*this)() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Fair coin.
+  bool coin() noexcept { return ((*this)() & 1u) != 0; }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive a statistically independent generator from this seed and a
+  /// list of salts. Used for per-(node, round) streams in the runtime:
+  /// the stream does not depend on the order in which nodes execute.
+  template <typename... Salts>
+  static Rng substream(std::uint64_t seed, Salts... salts) noexcept {
+    std::uint64_t h = splitmix64(seed);
+    ((h = splitmix64(h ^ static_cast<std::uint64_t>(salts))), ...);
+    return Rng(h);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace lps

@@ -1,0 +1,178 @@
+// Tests for the Section 4 Remark machinery: beta-augmentation
+// enumeration and the local_mwm fixed-point algorithm, whose convergence
+// certificate w(M) >= beta/(beta+1) w(M*) follows from the paper's own
+// Lemma 4.2.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/beta_augment.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "seq/exact_small.hpp"
+#include "seq/greedy.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+TEST(BetaAugment, FindsTheTrapGadgetFix) {
+  // Gadget a-b-c-d with weights 1, 1+eps, 1 and M = {bc}: the improving
+  // 2-augmentation is {+ab, -bc, +cd} with gain 1 - eps.
+  const WeightedGraph wg = greedy_trap_path(1, 0.25);
+  Matching m(4);
+  m.add(wg.graph, 1);  // the middle edge
+  const auto augs1 = enumerate_beta_augmentations(wg, m, 1, 1000);
+  EXPECT_TRUE(augs1.empty());  // wraps alone cannot improve
+  const auto augs2 = enumerate_beta_augmentations(wg, m, 2, 1000);
+  ASSERT_EQ(augs2.size(), 1u);
+  EXPECT_EQ(augs2[0].edges.size(), 3u);
+  EXPECT_FALSE(augs2[0].is_cycle);
+  EXPECT_NEAR(augs2[0].gain, 2.0 - 1.25, 1e-12);
+}
+
+TEST(BetaAugment, FindsImprovingCycles) {
+  // 4-cycle with matched light pair and unmatched heavy pair: swapping
+  // needs an alternating cycle with 2 unmatched edges.
+  Graph g = cycle_graph(4);  // edges 0:0-1, 1:1-2, 2:2-3, 3:0-3
+  const WeightedGraph wg = make_weighted(std::move(g), {1, 10, 1, 10});
+  Matching m(4);
+  m.add(wg.graph, 0);
+  m.add(wg.graph, 2);
+  const auto augs1 = enumerate_beta_augmentations(wg, m, 1, 1000);
+  for (const auto& a : augs1) EXPECT_FALSE(a.is_cycle);
+  const auto augs2 = enumerate_beta_augmentations(wg, m, 2, 1000);
+  bool found_cycle = false;
+  for (const auto& a : augs2) {
+    if (a.is_cycle) {
+      found_cycle = true;
+      EXPECT_EQ(a.edges.size(), 4u);
+      EXPECT_NEAR(a.gain, 18.0, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_cycle);
+}
+
+TEST(BetaAugment, RotationsAreEnumerated) {
+  // Path a-b-c with M={ab}, w(ab)=1, w(bc)=5: the improving augmentation
+  // removes ab and adds bc (a "rotation": one endpoint just goes free).
+  const WeightedGraph wg = make_weighted(path_graph(3), {1, 5});
+  Matching m(3);
+  m.add(wg.graph, 0);
+  const auto augs = enumerate_beta_augmentations(wg, m, 1, 1000);
+  ASSERT_FALSE(augs.empty());
+  double best = 0;
+  for (const auto& a : augs) best = std::max(best, a.gain);
+  EXPECT_NEAR(best, 4.0, 1e-12);
+}
+
+class BetaEnumSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BetaEnumSweep, EveryAugmentationIsValidAndGainExact) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 6; ++t) {
+    Graph g = erdos_renyi(14, 0.3, rng);
+    if (g.num_edges() == 0) continue;
+    auto w = uniform_weights(g.num_edges(), 1.0, 20.0, rng);
+    const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+    Matching m = greedy_mwm(wg);
+    auto ids = m.edge_ids(wg.graph);
+    for (std::size_t i = 0; i < ids.size(); i += 2) m.remove(wg.graph, ids[i]);
+    for (const int beta : {1, 2, 3}) {
+      const auto augs =
+          enumerate_beta_augmentations(wg, m, beta, 1u << 18);
+      std::set<std::vector<EdgeId>> seen;
+      for (const auto& a : augs) {
+        EXPECT_GT(a.gain, 0.0);
+        // Unmatched-edge budget.
+        int unmatched = 0;
+        for (EdgeId e : a.edges) unmatched += !m.contains(wg.graph, e);
+        EXPECT_LE(unmatched, beta);
+        // Dedup by edge set.
+        auto key = a.edges;
+        std::sort(key.begin(), key.end());
+        EXPECT_TRUE(seen.insert(key).second);
+        // Flip validity + exact gain.
+        Matching flipped = m;
+        const double before = flipped.weight(wg);
+        ASSERT_NO_THROW(flipped.symmetric_difference(wg.graph, a.edges));
+        EXPECT_NEAR(flipped.weight(wg) - before, a.gain, 1e-9);
+      }
+      // Monotonicity in beta: a larger budget can only add augmentations.
+      if (beta > 1) {
+        const auto smaller =
+            enumerate_beta_augmentations(wg, m, beta - 1, 1u << 18);
+        EXPECT_GE(augs.size(), smaller.size());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetaEnumSweep,
+                         ::testing::Values(41u, 43u, 47u, 53u));
+
+class LocalMwmSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalMwmSweep, FixedPointCertifiesBetaOverBetaPlusOne) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 5; ++t) {
+    Graph g = erdos_renyi(13, 0.3, rng);
+    if (g.num_edges() == 0) continue;
+    auto w = integer_weights(g.num_edges(), 25, rng);
+    const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+    const double opt = exact_mwm_small(wg).weight(wg);
+    for (const int beta : {1, 2, 3}) {
+      LocalMwmOptions opts;
+      opts.beta = beta;
+      const LocalMwmResult res = local_mwm(wg, opts);
+      EXPECT_TRUE(res.converged);
+      EXPECT_GE(res.matching.weight(wg) + 1e-9,
+                static_cast<double>(beta) / (beta + 1) * opt)
+          << "beta=" << beta;
+      // Monotone trajectory.
+      for (std::size_t i = 1; i < res.weight_trajectory.size(); ++i) {
+        EXPECT_GE(res.weight_trajectory[i] + 1e-9,
+                  res.weight_trajectory[i - 1]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalMwmSweep,
+                         ::testing::Values(61u, 67u, 71u));
+
+TEST(LocalMwm, SolvesTheTrapExactly) {
+  const WeightedGraph wg = greedy_trap_path(6, 0.2);
+  LocalMwmOptions opts;
+  opts.beta = 2;
+  const LocalMwmResult res = local_mwm(wg, opts);
+  EXPECT_TRUE(res.converged);
+  // beta = 2 fixes every gadget: optimum 2 per gadget.
+  EXPECT_NEAR(res.matching.weight(wg), 12.0, 1e-9);
+}
+
+TEST(LocalMwm, DeterministicAndAccountsRounds) {
+  Rng rng(9);
+  Graph g = erdos_renyi(24, 0.2, rng);
+  auto w = uniform_weights(g.num_edges(), 1.0, 9.0, rng);
+  const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+  LocalMwmOptions opts;
+  opts.beta = 2;
+  const LocalMwmResult a = local_mwm(wg, opts);
+  const LocalMwmResult b = local_mwm(wg, opts);
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_GT(a.stats.rounds, 0u);
+  EXPECT_GT(a.stats.max_message_bits, 0u);
+}
+
+TEST(LocalMwm, RejectsBadBeta) {
+  const WeightedGraph wg = make_weighted(path_graph(2), {1.0});
+  LocalMwmOptions opts;
+  opts.beta = 0;
+  EXPECT_THROW(local_mwm(wg, opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,316 @@
+// Tests for src/graph: Graph/CSR integrity, bipartition, components,
+// subgraphs, generators (parameterized sweeps), weights, IO.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/matching.hpp"
+#include "graph/weights.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+// -------------------------------------------------------------- Graph --
+
+TEST(Graph, BasicConstructionAndAdjacency) {
+  Graph g(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  // Every incidence is symmetric and consistent.
+  for (NodeId v = 0; v < 4; ++v) {
+    for (const auto& inc : g.neighbors(v)) {
+      EXPECT_EQ(g.other_endpoint(inc.edge, v), inc.to);
+      bool found = false;
+      for (const auto& back : g.neighbors(inc.to)) {
+        found |= (back.to == v && back.edge == inc.edge);
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Graph, NormalizesEndpointOrder) {
+  Graph g(3, {{2, 0}});
+  EXPECT_EQ(g.edge(0).u, 0u);
+  EXPECT_EQ(g.edge(0).v, 2u);
+}
+
+TEST(Graph, RejectsBadInput) {
+  EXPECT_THROW(Graph(2, {{0, 0}}), std::invalid_argument);   // self-loop
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);   // range
+  EXPECT_THROW(Graph(3, {{0, 1}, {1, 0}}), std::invalid_argument);  // dup
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(5, {{0, 1}, {1, 2}, {0, 4}});
+  EXPECT_EQ(g.find_edge(1, 0), 0u);
+  EXPECT_EQ(g.find_edge(4, 0), 2u);
+  EXPECT_EQ(g.find_edge(2, 3), kInvalidEdge);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0, {});
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.bipartition().has_value());
+}
+
+TEST(Graph, BipartitionEvenCycleYesOddCycleNo) {
+  EXPECT_TRUE(cycle_graph(8).bipartition().has_value());
+  EXPECT_FALSE(cycle_graph(9).bipartition().has_value());
+  const auto side = cycle_graph(8).bipartition();
+  const Graph g = cycle_graph(8);
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE((*side)[e.u], (*side)[e.v]);
+  }
+}
+
+TEST(Graph, ComponentsCountsIslands) {
+  // Two triangles and an isolated vertex.
+  Graph g(7, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}});
+  const auto comp = g.components();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[6], comp[0]);
+  EXPECT_NE(comp[6], comp[3]);
+}
+
+TEST(Graph, InducedSubgraphMapsBack) {
+  Graph g = complete_graph(5);
+  std::vector<char> keep_node(5, 1);
+  keep_node[2] = 0;
+  Subgraph s = induced_subgraph(g, keep_node, {});
+  EXPECT_EQ(s.graph.num_nodes(), 4u);
+  EXPECT_EQ(s.graph.num_edges(), 6u);  // K4
+  for (EdgeId e = 0; e < s.graph.num_edges(); ++e) {
+    const Edge& sub = s.graph.edge(e);
+    const Edge& parent = g.edge(s.edge_to_parent[e]);
+    EXPECT_EQ(s.node_to_parent[sub.u], parent.u);
+    EXPECT_EQ(s.node_to_parent[sub.v], parent.v);
+  }
+  EXPECT_EQ(s.parent_to_node[2], kInvalidNode);
+}
+
+TEST(Graph, InducedSubgraphEdgeMask) {
+  Graph g = path_graph(4);  // edges 0-1,1-2,2-3
+  std::vector<char> keep_edge(3, 0);
+  keep_edge[1] = 1;
+  Subgraph s = induced_subgraph(g, {}, keep_edge);
+  EXPECT_EQ(s.graph.num_nodes(), 4u);
+  EXPECT_EQ(s.graph.num_edges(), 1u);
+  EXPECT_EQ(s.edge_to_parent[0], 1u);
+}
+
+TEST(WeightedGraph, MakeWeightedValidates) {
+  Graph g = path_graph(3);
+  EXPECT_THROW(make_weighted(g, {1.0}), std::invalid_argument);
+  EXPECT_THROW(make_weighted(g, {1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(make_weighted(g, {1.0, -2.0}), std::invalid_argument);
+  auto wg = make_weighted(g, {1.0, 2.5});
+  EXPECT_DOUBLE_EQ(wg.weight(1), 2.5);
+}
+
+// --------------------------------------------------- fixed generators --
+
+TEST(Generators, FixedTopologies) {
+  EXPECT_EQ(path_graph(6).num_edges(), 5u);
+  EXPECT_EQ(cycle_graph(6).num_edges(), 6u);
+  EXPECT_EQ(complete_graph(7).num_edges(), 21u);
+  EXPECT_EQ(star_graph(9).num_edges(), 8u);
+  EXPECT_EQ(star_graph(9).max_degree(), 8u);
+  EXPECT_EQ(grid_graph(3, 4).num_edges(), 3u * 3 + 2u * 4);
+  EXPECT_EQ(binary_tree(15).num_edges(), 14u);
+  EXPECT_EQ(complete_bipartite(3, 4).num_edges(), 12u);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(Generators, CompleteBipartiteIsBipartiteWithSides) {
+  const Graph g = complete_bipartite(4, 5);
+  const auto side = g.bipartition();
+  ASSERT_TRUE(side.has_value());
+  for (const Edge& e : g.edges()) EXPECT_NE((*side)[e.u], (*side)[e.v]);
+}
+
+// ------------------------------------------- parameterized generators --
+
+class GeneratorSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorSweep, ErdosRenyiEdgeCountConcentration) {
+  Rng rng(GetParam());
+  const NodeId n = 200;
+  const double p = 0.05;
+  const Graph g = erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(g.num_edges(), expected, 5 * std::sqrt(expected) + 10);
+  // Validity is enforced by the Graph constructor (no dups/loops).
+}
+
+TEST_P(GeneratorSweep, ErdosRenyiExtremes) {
+  Rng rng(GetParam());
+  EXPECT_EQ(erdos_renyi(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST_P(GeneratorSweep, RandomBipartiteRespectsSides) {
+  Rng rng(GetParam());
+  const auto bg = random_bipartite(30, 40, 0.1, rng);
+  EXPECT_EQ(bg.graph.num_nodes(), 70u);
+  for (const Edge& e : bg.graph.edges()) {
+    EXPECT_LT(e.u, 30u);
+    EXPECT_GE(e.v, 30u);
+    EXPECT_NE(bg.side[e.u], bg.side[e.v]);
+  }
+  const double expected = 0.1 * 30 * 40;
+  EXPECT_NEAR(bg.graph.num_edges(), expected, 5 * std::sqrt(expected) + 10);
+}
+
+TEST_P(GeneratorSweep, RandomBipartiteRegularLeftDegrees) {
+  Rng rng(GetParam());
+  const auto bg = random_bipartite_regular_left(20, 30, 5, rng);
+  for (NodeId x = 0; x < 20; ++x) EXPECT_EQ(bg.graph.degree(x), 5u);
+  EXPECT_EQ(bg.graph.num_edges(), 100u);
+}
+
+TEST_P(GeneratorSweep, RandomTreeIsTree) {
+  Rng rng(GetParam());
+  for (NodeId n : {2u, 3u, 10u, 97u}) {
+    const Graph g = random_tree(n, rng);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    const auto comp = g.components();
+    for (NodeId v = 0; v < n; ++v) EXPECT_EQ(comp[v], 0u);  // connected
+  }
+}
+
+TEST_P(GeneratorSweep, RandomRegularDegrees) {
+  Rng rng(GetParam());
+  const Graph g = random_regular(40, 4, rng);
+  for (NodeId v = 0; v < 40; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);  // odd nd
+  EXPECT_THROW(random_regular(4, 4, rng), std::invalid_argument);  // d >= n
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(Generators, TightBipartiteChainStructure) {
+  for (const int k : {1, 2, 4}) {
+    const TightChain chain = tight_bipartite_chain(k, 3);
+    const NodeId stride = static_cast<NodeId>(2 * k + 2);
+    EXPECT_EQ(chain.graph.num_nodes(), 3 * stride);
+    EXPECT_EQ(chain.graph.num_edges(), 3u * (stride - 1));
+    EXPECT_EQ(chain.matched.size(), 3u * k);
+    // The pre-matching is valid, leaves exactly the copy endpoints
+    // free, and the shortest augmenting path has length exactly 2k+1.
+    const Matching m = Matching::from_edges(chain.graph, chain.matched);
+    for (NodeId c = 0; c < 3; ++c) {
+      EXPECT_TRUE(m.is_free(c * stride));
+      EXPECT_TRUE(m.is_free(c * stride + stride - 1));
+    }
+    EXPECT_EQ(shortest_augmenting_path_length(chain.graph, m, 2 * k + 1),
+              2 * k + 1);
+    EXPECT_FALSE(has_augmenting_path_leq(chain.graph, m, 2 * k - 1));
+    // Side labels 2-color every edge.
+    for (const Edge& e : chain.graph.edges()) {
+      EXPECT_NE(chain.side[e.u], chain.side[e.v]);
+    }
+  }
+  EXPECT_THROW(tight_bipartite_chain(0, 2), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ weights --
+
+TEST(Weights, UniformBoundsAndValidation) {
+  Rng rng(51);
+  const auto w = uniform_weights(1000, 2.0, 5.0, rng);
+  for (double x : w) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 5.0);
+  }
+  EXPECT_THROW(uniform_weights(10, 0.0, 1.0, rng), std::invalid_argument);
+  EXPECT_THROW(uniform_weights(10, 3.0, 2.0, rng), std::invalid_argument);
+}
+
+TEST(Weights, IntegerRange) {
+  Rng rng(53);
+  const auto w = integer_weights(2000, 7, rng);
+  std::set<double> seen(w.begin(), w.end());
+  for (double x : w) {
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 7.0);
+    EXPECT_EQ(x, std::floor(x));
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit with 2000 draws
+}
+
+TEST(Weights, PowerOfTwoLevels) {
+  Rng rng(57);
+  const auto w = power_of_two_weights(500, 4, rng);
+  for (double x : w) {
+    EXPECT_TRUE(x == 1.0 || x == 2.0 || x == 4.0 || x == 8.0) << x;
+  }
+}
+
+TEST(Weights, GreedyTrapStructure) {
+  const WeightedGraph wg = greedy_trap_path(3, 0.01);
+  EXPECT_EQ(wg.graph.num_nodes(), 12u);
+  EXPECT_EQ(wg.graph.num_edges(), 9u);
+  double total = 0;
+  for (double x : wg.weights) total += x;
+  EXPECT_NEAR(total, 3 * (2 + 1.01), 1e-12);
+}
+
+TEST(Weights, IncreasingPath) {
+  const WeightedGraph wg = increasing_path(5);
+  EXPECT_EQ(wg.weights, (std::vector<double>{1, 2, 3, 4}));
+}
+
+// ----------------------------------------------------------------- IO --
+
+TEST(Io, UnweightedRoundTrip) {
+  Rng rng(59);
+  const Graph g = erdos_renyi(40, 0.1, rng);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const ParsedGraph back = read_edge_list(ss);
+  EXPECT_EQ(back.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.graph.num_edges(), g.num_edges());
+  EXPECT_FALSE(back.weights.has_value());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(back.graph.edge(e), g.edge(e));
+  }
+}
+
+TEST(Io, WeightedRoundTripBitExact) {
+  Rng rng(61);
+  Graph g = erdos_renyi(30, 0.15, rng);
+  auto w = uniform_weights(g.num_edges(), 0.001, 1000.0, rng);
+  const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+  std::stringstream ss;
+  write_edge_list(ss, wg);
+  const ParsedGraph back = read_edge_list(ss);
+  ASSERT_TRUE(back.weights.has_value());
+  EXPECT_EQ(*back.weights, wg.weights);
+}
+
+TEST(Io, MalformedInputThrows) {
+  std::stringstream empty;
+  EXPECT_THROW(read_edge_list(empty), std::invalid_argument);
+  std::stringstream truncated("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(truncated), std::invalid_argument);
+  std::stringstream missing_weight("2 1 w\n0 1\n");
+  EXPECT_THROW(read_edge_list(missing_weight), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,116 @@
+// Tests for the Lemma 3.7 bit-pipelining primitive: MSB-first chunked
+// maximum over a tree in depth + chunks rounds.
+#include <gtest/gtest.h>
+
+#include "core/pipelined_max.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+BigCounter big_random(Rng& rng, int limbs) {
+  BigCounter x(rng());
+  for (int i = 1; i < limbs; ++i) {
+    x.shift_left(32);
+    x.shift_left(32);
+    x += BigCounter(rng());
+  }
+  return x;
+}
+
+TEST(PipelinedMax, SingleValueOnPath) {
+  const Graph g = path_graph(6);
+  std::vector<std::optional<BigCounter>> values(6);
+  values[5] = BigCounter(12345);
+  const auto res = pipelined_max(g, 0, values, 4);
+  EXPECT_TRUE(res.any_value);
+  EXPECT_EQ(res.maximum.to_u64(), 12345u);
+  EXPECT_EQ(res.tree_depth, 5u);
+}
+
+TEST(PipelinedMax, MaxAtVariousPositions) {
+  const Graph g = binary_tree(15);
+  for (NodeId holder = 0; holder < 15; ++holder) {
+    std::vector<std::optional<BigCounter>> values(15);
+    for (NodeId v = 0; v < 15; ++v) values[v] = BigCounter(v + 1);
+    values[holder] = BigCounter(1000 + holder);
+    const auto res = pipelined_max(g, 0, values, 8);
+    EXPECT_EQ(res.maximum.to_u64(), 1000u + holder) << holder;
+  }
+}
+
+TEST(PipelinedMax, NoValuesAnywhere) {
+  const Graph g = path_graph(4);
+  std::vector<std::optional<BigCounter>> values(4);
+  const auto res = pipelined_max(g, 2, values, 8);
+  EXPECT_FALSE(res.any_value);
+  EXPECT_TRUE(res.maximum.is_zero());
+}
+
+TEST(PipelinedMax, RejectsNonTrees) {
+  std::vector<std::optional<BigCounter>> values(3);
+  EXPECT_THROW(pipelined_max(cycle_graph(3), 0, values, 8),
+               std::invalid_argument);
+  // Forest (disconnected): n - 1 edges fails first; build 2 components
+  // with n-1 edges is impossible, so test the disconnected check via a
+  // graph with a self-contained cycle + isolated vertex is covered by
+  // the edge-count check; size mismatch:
+  EXPECT_THROW(pipelined_max(path_graph(4), 0, values, 8),
+               std::invalid_argument);
+  std::vector<std::optional<BigCounter>> ok(4);
+  EXPECT_THROW(pipelined_max(path_graph(4), 0, ok, 0), std::invalid_argument);
+}
+
+TEST(PipelinedMax, RoundsArePipelinedNotMultiplied) {
+  // Depth D path, j chunks: the primitive must finish in D + j + O(1)
+  // rounds, far below the D * j of store-and-forward.
+  const int depth = 40;
+  const Graph g = path_graph(depth + 1);
+  std::vector<std::optional<BigCounter>> values(depth + 1);
+  Rng rng(3);
+  values[depth] = big_random(rng, 4);  // ~256 bits
+  const int chunk_bits = 4;            // j = 64 chunks
+  const auto res = pipelined_max(g, 0, values, chunk_bits);
+  EXPECT_EQ(res.maximum, *values[depth]);
+  const std::uint64_t pipelined = res.tree_depth + res.chunk_count + 1;
+  EXPECT_EQ(res.stats.rounds, pipelined);
+  EXPECT_LT(res.stats.rounds,
+            res.tree_depth * res.chunk_count / 2);  // << D*j
+  EXPECT_EQ(res.stats.max_message_bits, static_cast<std::uint64_t>(chunk_bits));
+}
+
+class PipelinedMaxSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelinedMaxSweep, AgreesWithDirectMaxOnRandomTrees) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId n = static_cast<NodeId>(5 + rng.below(40));
+    const Graph g = random_tree(n, rng);
+    std::vector<std::optional<BigCounter>> values(n);
+    BigCounter direct_max;
+    bool any = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.coin()) {
+        values[v] = big_random(rng, 1 + static_cast<int>(rng.below(3)));
+        if (!any || direct_max < *values[v]) direct_max = *values[v];
+        any = true;
+      }
+    }
+    const NodeId root = static_cast<NodeId>(rng.below(n));
+    for (const int chunk_bits : {1, 7, 16, 32}) {
+      const auto res = pipelined_max(g, root, values, chunk_bits);
+      EXPECT_EQ(res.any_value, any);
+      if (any) {
+        EXPECT_EQ(res.maximum, direct_max)
+            << "n=" << n << " root=" << root << " chunks=" << chunk_bits;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedMaxSweep,
+                         ::testing::Values(11u, 13u, 17u, 19u, 23u));
+
+}  // namespace
+}  // namespace lps

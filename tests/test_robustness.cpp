@@ -1,0 +1,205 @@
+// Failure-injection and robustness tests: wrong-sized masks, degenerate
+// inputs, hostile black boxes, exception propagation through the
+// runtime, and fuzzed Matching mutation sequences checked against a
+// reference implementation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/bipartite_counting.hpp"
+#include "core/bipartite_mcm.hpp"
+#include "core/class_mwm.hpp"
+#include "core/israeli_itai.hpp"
+#include "core/weighted_mwm.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "runtime/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+// ------------------------------------------------ bad-input rejection --
+
+TEST(Robustness, WrongSizedMasksAreRejected) {
+  Rng rng(1);
+  const Graph g = erdos_renyi(20, 0.2, rng);
+  IsraeliItaiOptions opts;
+  opts.active_edges.assign(g.num_edges() + 1, 1);
+  EXPECT_THROW(israeli_itai(g, opts), std::invalid_argument);
+
+  IsraeliItaiOptions bad_init;
+  bad_init.initial = Matching(5);  // wrong node count
+  EXPECT_THROW(israeli_itai(g, bad_init), std::invalid_argument);
+}
+
+TEST(Robustness, DegenerateGraphsEverywhere) {
+  const Graph empty(0, {});
+  const Graph isolated(6, {});
+  // Every top-level algorithm must handle vertex-only graphs.
+  EXPECT_EQ(israeli_itai(isolated).matching.size(), 0u);
+  {
+    BipartiteMcmOptions o;
+    std::vector<std::uint8_t> side(6, 0);
+    EXPECT_EQ(bipartite_mcm(isolated, side, o).matching.size(), 0u);
+  }
+  {
+    const WeightedGraph wg{isolated, {}};
+    WeightedMwmOptions o;
+    EXPECT_EQ(weighted_mwm(wg, o).matching.size(), 0u);
+    EXPECT_EQ(class_mwm(wg).matching.size(), 0u);
+  }
+  EXPECT_EQ(israeli_itai(empty).matching.size(), 0u);
+}
+
+TEST(Robustness, HostileBlackBoxStillYieldsValidMatching) {
+  // A black box that returns the empty matching: Algorithm 5 makes no
+  // progress but must stay valid and terminate at its budget.
+  Rng rng(3);
+  Graph g = erdos_renyi(20, 0.2, rng);
+  auto w = uniform_weights(g.num_edges(), 1.0, 9.0, rng);
+  const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+  WeightedMwmOptions opts;
+  opts.eps = 0.1;
+  opts.black_box = [](const WeightedGraph& sub, std::uint64_t,
+                      NetStats*) { return Matching(sub.graph.num_nodes()); };
+  const WeightedMwmResult res = weighted_mwm(wg, opts);
+  EXPECT_EQ(res.matching.size(), 0u);
+  EXPECT_TRUE(is_valid_matching(wg.graph, res.matching.edge_ids(wg.graph)));
+  EXPECT_FALSE(res.converged_early);
+}
+
+TEST(Robustness, AdversarialBlackBoxCannotCorruptTheMatching) {
+  // A black box that returns single arbitrary positive-gain edges: the
+  // reduction's wrap application must keep the global matching valid.
+  Rng rng(5);
+  Graph g = erdos_renyi(24, 0.2, rng);
+  auto w = uniform_weights(g.num_edges(), 1.0, 9.0, rng);
+  const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+  WeightedMwmOptions opts;
+  opts.eps = 0.1;
+  opts.black_box = [](const WeightedGraph& sub, std::uint64_t seed,
+                      NetStats*) {
+    Matching m(sub.graph.num_nodes());
+    if (sub.graph.num_edges() > 0) {
+      m.add(sub.graph, static_cast<EdgeId>(seed % sub.graph.num_edges()));
+    }
+    return m;
+  };
+  const WeightedMwmResult res = weighted_mwm(wg, opts);
+  EXPECT_TRUE(is_valid_matching(wg.graph, res.matching.edge_ids(wg.graph)));
+  // Single positive-gain wraps strictly increase weight each iteration.
+  for (std::size_t i = 1; i < res.weight_trajectory.size(); ++i) {
+    EXPECT_GE(res.weight_trajectory[i] + 1e-9, res.weight_trajectory[i - 1]);
+  }
+}
+
+TEST(Robustness, CountingRejectsInconsistentSides) {
+  // A side labeling that leaves a *matched* edge monochromatic routes a
+  // count through it and trips the structural parity check: node 1
+  // (labeled Y) forwards to its mate node 2 (also labeled Y), which is
+  // then first-reached at an even round.
+  Graph g = path_graph(3);  // 0-1-2: node 2 is only reachable via 1
+  Matching m(3);
+  m.add(g, 1);  // matched edge 1-2, labeled monochromatic below
+  EXPECT_THROW(count_augmenting_paths(g, {0, 1, 1}, m, 3, {}),
+               std::logic_error);
+}
+
+// -------------------------------------------- runtime failure paths ----
+
+struct ThrowMsg {
+  int x;
+};
+
+TEST(Robustness, ExceptionsInStepPropagate) {
+  const Graph g = path_graph(4);
+  SyncNetwork<ThrowMsg> net(g, 1);
+  EXPECT_THROW(net.run_round([&](SyncNetwork<ThrowMsg>::Ctx& ctx) {
+    if (ctx.id() == 2) throw std::runtime_error("injected");
+  }),
+               std::runtime_error);
+}
+
+TEST(Robustness, EngineSurvivesZeroNodeGraph) {
+  const Graph g(0, {});
+  SyncNetwork<ThrowMsg> net(g, 1);
+  std::uint64_t rounds =
+      net.run(5, true, [&](SyncNetwork<ThrowMsg>::Ctx&) { FAIL(); });
+  EXPECT_EQ(rounds, 1u);  // one silent round, then stop
+}
+
+// ------------------------------------------------ fuzzed Matching ------
+
+TEST(Robustness, MatchingFuzzAgainstReferenceModel) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = erdos_renyi(16, 0.3, rng);
+    if (g.num_edges() == 0) continue;
+    Matching m(g.num_nodes());
+    std::set<EdgeId> reference;
+    for (int op = 0; op < 200; ++op) {
+      const EdgeId e = static_cast<EdgeId>(rng.below(g.num_edges()));
+      const Edge& ed = g.edge(e);
+      const bool in_ref = reference.count(e) > 0;
+      EXPECT_EQ(m.contains(g, e), in_ref);
+      if (in_ref) {
+        if (rng.coin()) {
+          m.remove(g, e);
+          reference.erase(e);
+        }
+        continue;
+      }
+      // Insert if endpoints free in the reference.
+      bool endpoint_taken = false;
+      for (EdgeId other : reference) {
+        const Edge& oe = g.edge(other);
+        if (oe.u == ed.u || oe.u == ed.v || oe.v == ed.u || oe.v == ed.v) {
+          endpoint_taken = true;
+          break;
+        }
+      }
+      if (endpoint_taken) {
+        EXPECT_THROW(m.add(g, e), std::invalid_argument);
+      } else {
+        m.add(g, e);
+        reference.insert(e);
+      }
+      EXPECT_EQ(m.size(), reference.size());
+    }
+    // Final cross-check of the full edge set.
+    std::vector<EdgeId> ids = m.edge_ids(g);
+    EXPECT_EQ(std::set<EdgeId>(ids.begin(), ids.end()), reference);
+  }
+}
+
+// ----------------------------------------- seed-sensitivity sweeps -----
+
+class SeedRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedRobustness, AlgorithmsNeverProduceInvalidOutput) {
+  // Whatever the seed, outputs must be valid matchings within bounds.
+  Rng rng(GetParam());
+  const Graph g = erdos_renyi(40, 0.12, rng);
+  auto w = uniform_weights(std::max<EdgeId>(g.num_edges(), 1), 1.0, 99.0,
+                           rng);
+  w.resize(g.num_edges());
+  IsraeliItaiOptions io;
+  io.seed = GetParam();
+  const auto ii = israeli_itai(g, io);
+  EXPECT_TRUE(is_valid_matching(g, ii.matching.edge_ids(g)));
+  if (g.num_edges() > 0) {
+    const WeightedGraph wg = make_weighted(Graph(g), std::move(w));
+    ClassMwmOptions co;
+    co.seed = GetParam();
+    const auto cm = class_mwm(wg, co);
+    EXPECT_TRUE(is_valid_matching(g, cm.matching.edge_ids(g)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustness,
+                         ::testing::Values(0u, 1u, 0xffffffffffffffffULL,
+                                           0x8000000000000000ULL, 12345u));
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,245 @@
+// Tests for the synchronous message-passing runtime: delivery semantics
+// (the model of the paper's Section 2), channel exclusivity, bit
+// metering, determinism, and thread-pool equivalence.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+struct IntMsg {
+  int value;
+};
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(0, 100, 9, [&](std::size_t b, std::size_t e) {
+      std::size_t local = 0;
+      for (std::size_t i = b; i < e; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int counter = 0;
+  pool.parallel_for(0, 10, 3, [&](std::size_t b, std::size_t e) {
+    counter += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { FAIL(); });
+}
+
+TEST(SyncNetwork, OneRoundDeliveryDelay) {
+  Graph g = path_graph(2);
+  SyncNetwork<IntMsg> net(g, 1);
+  std::vector<int> received_at_round(2, -1);
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    if (ctx.round() == 0 && ctx.id() == 0) {
+      ctx.send(0, IntMsg{42});
+    }
+    for (const auto& in : ctx.inbox()) {
+      EXPECT_EQ(in.payload->value, 42);
+      EXPECT_EQ(in.from, 0u);
+      received_at_round[ctx.id()] = static_cast<int>(ctx.round());
+    }
+  };
+  net.run_round(step);
+  EXPECT_EQ(received_at_round[1], -1);  // not yet delivered
+  net.run_round(step);
+  EXPECT_EQ(received_at_round[1], 1);  // delivered exactly one round later
+  EXPECT_EQ(received_at_round[0], -1);  // sender got nothing
+}
+
+TEST(SyncNetwork, DoubleSendOnChannelThrows) {
+  Graph g = path_graph(2);
+  SyncNetwork<IntMsg> net(g, 1);
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    if (ctx.id() == 0) {
+      ctx.send(0, IntMsg{1});
+      EXPECT_THROW(ctx.send(0, IntMsg{2}), std::logic_error);
+    }
+  };
+  net.run_round(step);
+}
+
+TEST(SyncNetwork, NonEndpointSendThrows) {
+  Graph g = path_graph(3);  // edges 0:0-1, 1:1-2
+  SyncNetwork<IntMsg> net(g, 1);
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    if (ctx.id() == 0) {
+      EXPECT_THROW(ctx.send(1, IntMsg{1}), std::logic_error);
+    }
+  };
+  net.run_round(step);
+}
+
+TEST(SyncNetwork, OppositeDirectionsShareEdgeFine) {
+  Graph g = path_graph(2);
+  SyncNetwork<IntMsg> net(g, 1);
+  int delivered = 0;
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    if (ctx.round() == 0) ctx.send(0, IntMsg{static_cast<int>(ctx.id())});
+    for (const auto& in : ctx.inbox()) {
+      ++delivered;
+      EXPECT_EQ(in.payload->value, static_cast<int>(in.from));
+    }
+  };
+  net.run_round(step);
+  net.run_round(step);
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(SyncNetwork, BitMeteringAndStats) {
+  Graph g = star_graph(5);
+  auto meter = [](const IntMsg& m) {
+    return static_cast<std::uint64_t>(m.value);
+  };
+  SyncNetwork<IntMsg> net(g, 1, meter);
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    if (ctx.round() == 0 && ctx.id() == 0) {
+      int bits = 10;
+      for (const auto& inc : ctx.graph().neighbors(0)) {
+        ctx.send(inc.edge, IntMsg{bits});
+        bits += 10;
+      }
+    }
+  };
+  net.run_round(step);
+  EXPECT_EQ(net.stats().rounds, 1u);
+  EXPECT_EQ(net.stats().messages, 4u);
+  EXPECT_EQ(net.stats().total_bits, 10u + 20 + 30 + 40);
+  EXPECT_EQ(net.stats().max_message_bits, 40u);
+}
+
+TEST(SyncNetwork, RunStopsWhenSilent) {
+  Graph g = path_graph(4);
+  SyncNetwork<IntMsg> net(g, 1);
+  // A wave: node 0 sends once; everyone forwards right, then silence.
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    if (ctx.round() == 0 && ctx.id() == 0) {
+      ctx.send(0, IntMsg{1});
+      return;
+    }
+    for (const auto& in : ctx.inbox()) {
+      for (const auto& inc : ctx.graph().neighbors(ctx.id())) {
+        if (inc.to > ctx.id()) ctx.send(inc.edge, IntMsg{in.payload->value});
+      }
+    }
+  };
+  const std::uint64_t rounds = net.run(100, /*stop_when_silent=*/true, step);
+  // Wave takes 3 hops (0->1,1->2,2->3), then one silent round detection.
+  EXPECT_LE(rounds, 5u);
+  EXPECT_GE(rounds, 3u);
+}
+
+TEST(SyncNetwork, RngSubstreamsIndependentOfExecutionOrder) {
+  // The per-(node, round) substream must not depend on which nodes ran
+  // first; we capture draws across two runs and compare.
+  Graph g = complete_graph(6);
+  std::vector<std::uint64_t> draws_a(6), draws_b(6);
+  {
+    SyncNetwork<IntMsg> net(g, 99);
+    net.run_round([&](SyncNetwork<IntMsg>::Ctx& ctx) {
+      draws_a[ctx.id()] = ctx.rng()();
+    });
+  }
+  {
+    SyncNetwork<IntMsg> net(g, 99);
+    net.run_round([&](SyncNetwork<IntMsg>::Ctx& ctx) {
+      draws_b[ctx.id()] = ctx.rng()();
+    });
+  }
+  EXPECT_EQ(draws_a, draws_b);
+  // Different rounds give different draws.
+  SyncNetwork<IntMsg> net(g, 99);
+  std::vector<std::uint64_t> round0(6), round1(6);
+  net.run_round([&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    round0[ctx.id()] = ctx.rng()();
+  });
+  net.run_round([&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    round1[ctx.id()] = ctx.rng()();
+  });
+  EXPECT_NE(round0, round1);
+}
+
+TEST(SyncNetwork, ParallelEqualsSequential) {
+  // A small gossip protocol; node states must match across thread counts.
+  Rng rng(17);
+  Graph g = erdos_renyi(120, 0.05, rng);
+  auto run_with = [&](ThreadPool* pool) {
+    std::vector<std::uint64_t> state(g.num_nodes(), 0);
+    SyncNetwork<IntMsg> net(g, 5);
+    net.set_thread_pool(pool);
+    auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+      const NodeId v = ctx.id();
+      for (const auto& in : ctx.inbox()) {
+        state[v] = state[v] * 31 + static_cast<std::uint64_t>(
+                                       in.payload->value);
+      }
+      const int draw = static_cast<int>(ctx.rng().below(1000));
+      state[v] += static_cast<std::uint64_t>(draw);
+      if (ctx.round() < 6) {
+        for (const auto& inc : ctx.graph().neighbors(v)) {
+          if ((draw + inc.to) % 3 == 0) ctx.send(inc.edge, IntMsg{draw});
+        }
+      }
+    };
+    for (int r = 0; r < 8; ++r) net.run_round(step);
+    return std::make_pair(state, net.stats());
+  };
+  const auto [seq_state, seq_stats] = run_with(nullptr);
+  ThreadPool pool(4);
+  const auto [par_state, par_stats] = run_with(&pool);
+  EXPECT_EQ(seq_state, par_state);
+  EXPECT_EQ(seq_stats.messages, par_stats.messages);
+  EXPECT_EQ(seq_stats.total_bits, par_stats.total_bits);
+  EXPECT_EQ(seq_stats.max_message_bits, par_stats.max_message_bits);
+}
+
+TEST(NetStats, MergeAndScaledMerge) {
+  NetStats a;
+  a.rounds = 10;
+  a.note_message(100);
+  NetStats b;
+  b.rounds = 4;
+  b.note_message(50);
+  b.note_message(30);
+  NetStats merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.rounds, 14u);
+  EXPECT_EQ(merged.messages, 3u);
+  EXPECT_EQ(merged.total_bits, 180u);
+  EXPECT_EQ(merged.max_message_bits, 100u);
+  NetStats scaled = a;
+  scaled.merge_scaled_rounds(b, 5);
+  EXPECT_EQ(scaled.rounds, 10u + 20u);
+}
+
+}  // namespace
+}  // namespace lps

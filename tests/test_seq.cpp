@@ -1,0 +1,231 @@
+// Cross-validation of the sequential matching substrate: Hopcroft–Karp
+// vs blossom vs the exhaustive oracle, Hungarian vs the exhaustive
+// oracle, greedy approximation guarantees.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "seq/blossom.hpp"
+#include "seq/exact_small.hpp"
+#include "seq/greedy.hpp"
+#include "seq/hopcroft_karp.hpp"
+#include "seq/hungarian.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+// ------------------------------------------------------------- greedy --
+
+TEST(Greedy, McmIsMaximal) {
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    Graph g = erdos_renyi(50, 0.08, rng);
+    const Matching m = greedy_mcm(g);
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(Greedy, MwmHalfApproxOnTrap) {
+  const WeightedGraph wg = greedy_trap_path(10, 0.001);
+  const Matching greedy = greedy_mwm(wg);
+  // Greedy takes exactly the 10 middle edges (weight 10.01); the optimum
+  // takes the 20 outer edges (weight 20): the 1/2 bound is tight.
+  EXPECT_EQ(greedy.size(), 10u);
+  EXPECT_NEAR(greedy.weight(wg), 10 * 1.001, 1e-9);
+  const double ratio = greedy.weight(wg) / 20.0;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 0.51);
+}
+
+TEST(Greedy, MwmRespectsHalfBoundSmall) {
+  Rng rng(5);
+  for (int t = 0; t < 25; ++t) {
+    Graph g = erdos_renyi(14, 0.3, rng);
+    auto w = integer_weights(g.num_edges(), 20, rng);
+    const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+    const double opt = exact_mwm_small(wg).weight(wg);
+    EXPECT_GE(greedy_mwm(wg).weight(wg) + 1e-9, 0.5 * opt);
+    EXPECT_GE(locally_heaviest_mwm(wg).weight(wg) + 1e-9, 0.5 * opt);
+  }
+}
+
+TEST(Greedy, LocallyHeaviestIsMaximalAndValid) {
+  Rng rng(7);
+  for (int t = 0; t < 15; ++t) {
+    Graph g = erdos_renyi(40, 0.1, rng);
+    auto w = uniform_weights(g.num_edges(), 1.0, 9.0, rng);
+    const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+    const Matching m = locally_heaviest_mwm(wg);
+    EXPECT_TRUE(is_maximal_matching(wg.graph, m));
+  }
+}
+
+TEST(Greedy, LocallyHeaviestEqualsGreedyWeightOnDistinctWeights) {
+  // With all-distinct weights both algorithms pick the same matching.
+  Rng rng(9);
+  for (int t = 0; t < 10; ++t) {
+    Graph g = erdos_renyi(30, 0.15, rng);
+    std::vector<double> w(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      w[e] = 1.0 + e * 0.001 + rng.uniform01() * 0.0001;
+    }
+    const WeightedGraph wg = make_weighted(std::move(g), std::move(w));
+    EXPECT_DOUBLE_EQ(greedy_mwm(wg).weight(wg),
+                     locally_heaviest_mwm(wg).weight(wg));
+  }
+}
+
+// ----------------------------------------------------- exact_small ----
+
+TEST(ExactSmall, KnownInstances) {
+  // Path of 5: MCM = 2.
+  EXPECT_EQ(exact_mcm_small(path_graph(5)).size(), 2u);
+  // Odd cycle of 7: MCM = 3.
+  EXPECT_EQ(exact_mcm_small(cycle_graph(7)).size(), 3u);
+  // K4: perfect matching.
+  EXPECT_EQ(exact_mcm_small(complete_graph(4)).size(), 2u);
+  // Star: 1.
+  EXPECT_EQ(exact_mcm_small(star_graph(8)).size(), 1u);
+  // Empty graph edge cases.
+  EXPECT_EQ(exact_mcm_small(Graph(0, {})).size(), 0u);
+  EXPECT_EQ(exact_mcm_small(Graph(5, {})).size(), 0u);
+}
+
+TEST(ExactSmall, RejectsLargeGraphs) {
+  EXPECT_THROW(exact_mcm_small(path_graph(31)), std::invalid_argument);
+}
+
+TEST(ExactSmall, MwmPrefersHeavyPairOverMiddle) {
+  // Path a-b-c-d with weights 3, 5, 3: optimum takes the two outer.
+  WeightedGraph wg = make_weighted(path_graph(4), {3, 5, 3});
+  const Matching m = exact_mwm_small(wg);
+  EXPECT_DOUBLE_EQ(m.weight(wg), 6.0);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+// ------------------------------------------------------ hopcroft-karp --
+
+TEST(HopcroftKarp, KnownValues) {
+  // Perfect matching in K_{4,4}.
+  EXPECT_EQ(hopcroft_karp(complete_bipartite(4, 4)).size(), 4u);
+  // K_{3,5}: 3.
+  EXPECT_EQ(hopcroft_karp(complete_bipartite(3, 5)).size(), 3u);
+  // Even cycle: perfect.
+  EXPECT_EQ(hopcroft_karp(cycle_graph(10)).size(), 5u);
+  // Path of 7 (6 edges): 3.
+  EXPECT_EQ(hopcroft_karp(path_graph(7)).size(), 3u);
+}
+
+TEST(HopcroftKarp, RejectsBadSides) {
+  Graph g = path_graph(3);
+  EXPECT_THROW(hopcroft_karp(g, {0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(hopcroft_karp(g, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(hopcroft_karp(cycle_graph(5)), std::invalid_argument);
+}
+
+TEST(HopcroftKarp, NoAugmentingPathAtOptimum) {
+  Rng rng(13);
+  const auto bg = random_bipartite(25, 25, 0.1, rng);
+  const Matching m = hopcroft_karp(bg.graph, bg.side);
+  EXPECT_EQ(shortest_augmenting_path_length(bg.graph, m, 15), -1);
+}
+
+// ------------------------------------------------------------ blossom --
+
+TEST(Blossom, HandlesOddStructures) {
+  // Odd cycle: n/2 floor.
+  EXPECT_EQ(blossom_mcm(cycle_graph(9)).size(), 4u);
+  // Triangle with a pendant: 2.
+  Graph g(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(blossom_mcm(g).size(), 2u);
+  // Petersen graph has a perfect matching.
+  Graph petersen(10, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0},
+                      {5, 7}, {7, 9}, {9, 6}, {6, 8}, {8, 5},
+                      {0, 5}, {1, 6}, {2, 7}, {3, 8}, {4, 9}});
+  EXPECT_EQ(blossom_mcm(petersen).size(), 5u);
+}
+
+// ---------------------------------------------------------- hungarian --
+
+TEST(Hungarian, AssignmentKnownMatrix) {
+  // Optimal assignment: r0->c2 (11), r1->c1 (4), r2->c0 (9) = 24
+  // (greedy picking 11, 5, 9 would reuse column 0 and is infeasible).
+  const AssignmentResult r = max_weight_assignment({{7, 5, 11},
+                                                    {5, 4, 1},
+                                                    {9, 3, 2}});
+  EXPECT_DOUBLE_EQ(r.total_profit, 24.0);
+  EXPECT_EQ(r.row_to_col[0], 2);
+  EXPECT_EQ(r.row_to_col[1], 1);
+  EXPECT_EQ(r.row_to_col[2], 0);
+}
+
+TEST(Hungarian, AllowsUnassignedRows) {
+  // One column, two rows: only the better row gets it.
+  const AssignmentResult r = max_weight_assignment({{5}, {9}});
+  EXPECT_EQ(r.row_to_col[0], -1);
+  EXPECT_EQ(r.row_to_col[1], 0);
+  EXPECT_DOUBLE_EQ(r.total_profit, 9);
+}
+
+TEST(Hungarian, RectangularAndZeroProfit) {
+  const AssignmentResult r = max_weight_assignment({{0, 0, 3, 0}});
+  EXPECT_EQ(r.row_to_col[0], 2);
+  EXPECT_DOUBLE_EQ(r.total_profit, 3);
+  EXPECT_THROW(max_weight_assignment({{-1.0}}), std::invalid_argument);
+}
+
+// --------------------------------------------- parameterized sweeps ----
+
+class SeqCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeqCrossValidation, HkEqualsBlossomEqualsExactOnBipartite) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 8; ++t) {
+    const auto bg = random_bipartite(8, 8, 0.25, rng);
+    const std::size_t hk = hopcroft_karp(bg.graph, bg.side).size();
+    const std::size_t bl = blossom_mcm(bg.graph).size();
+    const std::size_t ex = exact_mcm_small(bg.graph).size();
+    EXPECT_EQ(hk, ex);
+    EXPECT_EQ(bl, ex);
+  }
+}
+
+TEST_P(SeqCrossValidation, BlossomEqualsExactOnGeneral) {
+  Rng rng(GetParam() ^ 0xabcd);
+  for (int t = 0; t < 8; ++t) {
+    const Graph g = erdos_renyi(16, 0.2, rng);
+    EXPECT_EQ(blossom_mcm(g).size(), exact_mcm_small(g).size());
+  }
+}
+
+TEST_P(SeqCrossValidation, BlossomLargeSelfConsistency) {
+  Rng rng(GetParam() ^ 0x1234);
+  const Graph g = erdos_renyi(120, 0.04, rng);
+  const Matching m = blossom_mcm(g);
+  // Optimality certificate we can check cheaply: no short augmenting
+  // path exists (full certificate needs Tutte–Berge; length-9 bounded
+  // search is a strong smoke check).
+  EXPECT_EQ(shortest_augmenting_path_length(g, m, 9), -1);
+}
+
+TEST_P(SeqCrossValidation, HungarianEqualsExactMwm) {
+  Rng rng(GetParam() ^ 0x7777);
+  for (int t = 0; t < 6; ++t) {
+    const auto bg = random_bipartite(7, 7, 0.4, rng);
+    if (bg.graph.num_edges() == 0) continue;
+    auto w = integer_weights(bg.graph.num_edges(), 30, rng);
+    const WeightedGraph wg =
+        make_weighted(Graph(bg.graph), std::move(w));
+    const double hung = hungarian_mwm(wg, bg.side).weight(wg);
+    const double exact = exact_mwm_small(wg).weight(wg);
+    EXPECT_DOUBLE_EQ(hung, exact);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeqCrossValidation,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u));
+
+}  // namespace
+}  // namespace lps

@@ -1,0 +1,159 @@
+// Tests for the VOQ switch application: traffic admissibility, scheduler
+// contract (matching over non-empty VOQs), and short closed-loop
+// simulations with throughput sanity bounds.
+#include <gtest/gtest.h>
+
+#include "switch/schedulers.hpp"
+#include "switch/traffic.hpp"
+#include "switch/voq.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+TEST(Traffic, RowAndColumnSums) {
+  for (const TrafficPattern p :
+       {TrafficPattern::kUniform, TrafficPattern::kDiagonal,
+        TrafficPattern::kLogDiagonal, TrafficPattern::kHotspot}) {
+    const auto lambda = traffic_matrix(p, 8, 0.75);
+    for (std::size_t i = 0; i < 8; ++i) {
+      double row = 0;
+      for (double x : lambda[i]) row += x;
+      EXPECT_NEAR(row, 0.75, 1e-9) << to_string(p);
+    }
+    for (std::size_t j = 0; j < 8; ++j) {
+      double col = 0;
+      for (std::size_t i = 0; i < 8; ++i) col += lambda[i][j];
+      EXPECT_NEAR(col, 0.75, 1e-9) << to_string(p);
+    }
+  }
+  EXPECT_THROW(traffic_matrix(TrafficPattern::kUniform, 0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(traffic_matrix(TrafficPattern::kUniform, 4, 1.5),
+               std::invalid_argument);
+}
+
+// Scheduler contract checks on a fixed queue matrix.
+QueueMatrix demo_queues() {
+  return {{3, 0, 1, 0},
+          {0, 2, 0, 0},
+          {0, 0, 0, 5},
+          {1, 0, 0, 0}};
+}
+
+void expect_valid_assignment(const QueueMatrix& q,
+                             const std::vector<int>& a) {
+  std::vector<char> used(q.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 0) continue;
+    ASSERT_LT(static_cast<std::size_t>(a[i]), q.size());
+    EXPECT_FALSE(used[a[i]]) << "output matched twice";
+    used[a[i]] = 1;
+    EXPECT_GT(q[i][a[i]], 0u) << "matched an empty VOQ";
+  }
+}
+
+TEST(Schedulers, AllRespectTheMatchingContract) {
+  const QueueMatrix q = demo_queues();
+  PimScheduler pim(4, 7);
+  IslipScheduler islip(4);
+  GreedyScheduler greedy;
+  MaxSizeScheduler maxsize;
+  MaxWeightScheduler maxweight;
+  DistMcmScheduler dist(2, 5);
+  for (Scheduler* s : std::initializer_list<Scheduler*>{
+           &pim, &islip, &greedy, &maxsize, &maxweight, &dist}) {
+    const auto a = s->schedule(q);
+    expect_valid_assignment(q, a);
+  }
+}
+
+TEST(Schedulers, OraclesFindThePerfectMatchingWhenItExists) {
+  // demo_queues admits the size-4 matching 0->2? no: q[0] has outputs
+  // {0, 2}; q[1] -> {1}; q[2] -> {3}; q[3] -> {0}. Perfect: 0->2, 1->1,
+  // 2->3, 3->0.
+  const QueueMatrix q = demo_queues();
+  MaxSizeScheduler maxsize;
+  const auto a = maxsize.schedule(q);
+  int matched = 0;
+  for (int x : a) matched += (x >= 0);
+  EXPECT_EQ(matched, 4);
+  DistMcmScheduler dist(3, 9);
+  const auto b = dist.schedule(q);
+  int matched_b = 0;
+  for (int x : b) matched_b += (x >= 0);
+  EXPECT_EQ(matched_b, 4);  // (1-1/(k+1)) of 4 with k=3 forces 4
+}
+
+TEST(Schedulers, MaxWeightPrefersLongQueues) {
+  QueueMatrix q = {{9, 1}, {0, 1}};
+  MaxWeightScheduler s;
+  const auto a = s.schedule(q);
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 1);
+}
+
+TEST(Schedulers, IslipPointersDesynchronize) {
+  // Under full demand, iSLIP reaches 100% of slots serving all ports
+  // after the pointers desynchronize: run a few slots and check the
+  // last one is a perfect matching.
+  const std::size_t n = 4;
+  QueueMatrix q(n, std::vector<std::uint32_t>(n, 5));
+  IslipScheduler islip(4);
+  std::vector<int> last;
+  for (int t = 0; t < 8; ++t) last = islip.schedule(q);
+  int matched = 0;
+  for (int x : last) matched += (x >= 0);
+  EXPECT_EQ(matched, 4);
+}
+
+TEST(Switch, RunRejectsBadConfig) {
+  SwitchConfig cfg;
+  cfg.slots = 10;
+  cfg.warmup = 10;
+  GreedyScheduler s;
+  EXPECT_THROW(run_switch(cfg, s), std::invalid_argument);
+}
+
+class SwitchSim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwitchSim, ModerateLoadIsStableForGoodSchedulers) {
+  SwitchConfig cfg;
+  cfg.ports = 8;
+  cfg.slots = 4000;
+  cfg.warmup = 500;
+  cfg.load = 0.6;
+  cfg.pattern = TrafficPattern::kUniform;
+  cfg.seed = GetParam();
+  MaxSizeScheduler maxsize;
+  const SwitchMetrics oracle = run_switch(cfg, maxsize);
+  EXPECT_GT(oracle.normalized_throughput, 0.95);
+  EXPECT_LT(oracle.mean_delay, 20.0);
+
+  PimScheduler pim(4, GetParam());
+  const SwitchMetrics pim_m = run_switch(cfg, pim);
+  EXPECT_GT(pim_m.normalized_throughput, 0.9);
+
+  IslipScheduler islip(4);
+  const SwitchMetrics islip_m = run_switch(cfg, islip);
+  EXPECT_GT(islip_m.normalized_throughput, 0.9);
+}
+
+TEST_P(SwitchSim, DistMcmSchedulerIsCompetitive) {
+  SwitchConfig cfg;
+  cfg.ports = 6;
+  cfg.slots = 1500;
+  cfg.warmup = 300;
+  cfg.load = 0.5;
+  cfg.pattern = TrafficPattern::kUniform;
+  cfg.seed = GetParam() + 100;
+  DistMcmScheduler dist(2, GetParam());
+  const SwitchMetrics m = run_switch(cfg, dist);
+  EXPECT_GT(m.normalized_throughput, 0.9);
+  EXPECT_LE(m.delivered, m.arrived);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchSim, ::testing::Values(1u, 2u));
+
+}  // namespace
+}  // namespace lps
