@@ -1,0 +1,85 @@
+#include "api/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace lps::api {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonObject& JsonObject::raw(const std::string& key, std::string rendered) {
+  fields_.emplace_back(key, std::move(rendered));
+  return *this;
+}
+
+JsonObject& JsonObject::add(const std::string& key, const std::string& value) {
+  return raw(key, '"' + json_escape(value) + '"');
+}
+
+JsonObject& JsonObject::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, double value) {
+  if (!std::isfinite(value)) return raw(key, "null");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return raw(key, buf);
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::int64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, std::uint64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, int value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::add(const std::string& key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::add(const std::string& key, const JsonObject& nested) {
+  return raw(key, nested.str());
+}
+
+std::string JsonObject::str() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, rendered] : fields_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + json_escape(key) + "\": " + rendered;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace lps::api

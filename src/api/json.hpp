@@ -1,0 +1,37 @@
+// Minimal JSON object writer for the runner's machine-readable per-run
+// records (bench/out/*.json). Write-only, no external dependencies;
+// numbers use max_digits10 so round-trips are value-faithful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lps::api {
+
+/// Escape for inclusion inside a JSON string literal (adds no quotes).
+std::string json_escape(const std::string& s);
+
+/// Flat-to-lightly-nested JSON object builder; keys appear in insertion
+/// order. Nesting via add(key, JsonObject).
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value);
+  JsonObject& add(const std::string& key, const char* value);
+  JsonObject& add(const std::string& key, double value);
+  JsonObject& add(const std::string& key, std::int64_t value);
+  JsonObject& add(const std::string& key, std::uint64_t value);
+  JsonObject& add(const std::string& key, int value);
+  JsonObject& add(const std::string& key, bool value);
+  JsonObject& add(const std::string& key, const JsonObject& nested);
+
+  /// `{"k": v, ...}` on one line.
+  std::string str() const;
+
+ private:
+  JsonObject& raw(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace lps::api

@@ -1,0 +1,51 @@
+#include "api/registry.hpp"
+
+#include <stdexcept>
+
+namespace lps::api {
+
+SolverRegistry& SolverRegistry::global() {
+  static SolverRegistry* instance = [] {
+    auto* reg = new SolverRegistry();
+    register_builtin_solvers(*reg);
+    return reg;
+  }();
+  return *instance;
+}
+
+void SolverRegistry::add(std::shared_ptr<const MatchingSolver> solver) {
+  if (!solver || solver->name().empty()) {
+    throw std::invalid_argument("SolverRegistry::add: unnamed solver");
+  }
+  const std::string name = solver->name();
+  if (!solvers_.emplace(name, std::move(solver)).second) {
+    throw std::invalid_argument("SolverRegistry::add: duplicate solver '" +
+                                name + "'");
+  }
+}
+
+const MatchingSolver* SolverRegistry::find(
+    const std::string& name) const noexcept {
+  const auto it = solvers_.find(name);
+  return it == solvers_.end() ? nullptr : it->second.get();
+}
+
+const MatchingSolver& SolverRegistry::at(const std::string& name) const {
+  if (const MatchingSolver* solver = find(name)) return *solver;
+  std::string known;
+  for (const auto& [registered, _] : solvers_) {
+    if (!known.empty()) known += ", ";
+    known += registered;
+  }
+  throw std::invalid_argument("unknown solver '" + name + "' (registered: " +
+                              known + ")");
+}
+
+std::vector<std::string> SolverRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(solvers_.size());
+  for (const auto& [name, _] : solvers_) out.push_back(name);
+  return out;
+}
+
+}  // namespace lps::api

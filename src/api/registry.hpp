@@ -1,0 +1,53 @@
+// String-keyed registry of MatchingSolver implementations. Adding an
+// algorithm to the system is a registration here, not a new driver:
+// benches, examples, and tests all resolve solvers by name and consume
+// the uniform solve() interface.
+//
+// `SolverRegistry::global()` comes pre-populated with every src/core
+// and src/seq algorithm (see solvers.cpp for the adapter table).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solver.hpp"
+
+namespace lps::api {
+
+class SolverRegistry {
+ public:
+  SolverRegistry() = default;
+
+  /// The process-wide registry with all built-in solvers registered.
+  static SolverRegistry& global();
+
+  /// Register a solver; throws std::invalid_argument on a duplicate or
+  /// empty name. Solvers must be stateless (solve() is const and may be
+  /// called concurrently).
+  void add(std::shared_ptr<const MatchingSolver> solver);
+
+  /// nullptr when the name is unknown.
+  const MatchingSolver* find(const std::string& name) const noexcept;
+
+  /// Throws std::invalid_argument listing the registered names.
+  const MatchingSolver& at(const std::string& name) const;
+
+  bool contains(const std::string& name) const noexcept {
+    return find(name) != nullptr;
+  }
+  std::size_t size() const noexcept { return solvers_.size(); }
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const MatchingSolver>> solvers_;
+};
+
+/// Registers every src/core and src/seq algorithm into `registry`
+/// (called once by global(); exposed for tests that build their own).
+void register_builtin_solvers(SolverRegistry& registry);
+
+}  // namespace lps::api

@@ -1,0 +1,447 @@
+#include "api/runner.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "api/json.hpp"
+#include "api/registry.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+
+namespace lps::api {
+namespace {
+
+/// kv accessor for generator specs with required/optional semantics.
+class SpecArgs {
+ public:
+  SpecArgs(std::string family, const std::string& kv)
+      : family_(std::move(family)), values_(parse_kv_list(kv)) {}
+
+  std::int64_t require_int(const std::string& key) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("generator '" + family_ +
+                                  "': missing required key '" + key + "'");
+    }
+    used_.push_back(key);
+    return parse_int_value(key, it->second);
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.push_back(key);
+    return parse_int_value(key, it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.push_back(key);
+    return parse_double_value(key, it->second);
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    used_.push_back(key);
+    return it->second;
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  /// Every provided key must have been consumed — typos fail loudly.
+  void check_all_used() const {
+    for (const auto& [key, _] : values_) {
+      if (std::find(used_.begin(), used_.end(), key) == used_.end()) {
+        throw std::invalid_argument("generator '" + family_ +
+                                    "': unknown key '" + key + "'");
+      }
+    }
+  }
+
+ private:
+  std::string family_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> used_;
+};
+
+/// nullopt = no weight model requested; a (possibly empty, when m = 0)
+/// vector otherwise, so zero-edge instances stay weighted.
+std::optional<std::vector<double>> make_weights(SpecArgs& args, EdgeId m,
+                                                Rng& rng) {
+  const std::string model = args.get("w", "");
+  if (model.empty()) return std::nullopt;
+  if (model == "uniform") {
+    return uniform_weights(m, args.get_double("wlo", 1.0),
+                           args.get_double("whi", 100.0), rng);
+  }
+  if (model == "integer") {
+    return integer_weights(
+        m, static_cast<std::uint64_t>(args.get_int("wmax", 64)), rng);
+  }
+  if (model == "exp") {
+    return exponential_weights(m, args.get_double("wmean", 8.0), rng);
+  }
+  if (model == "pow2") {
+    return power_of_two_weights(
+        m, static_cast<int>(args.get_int("wlevels", 10)), rng);
+  }
+  throw std::invalid_argument("generator weight model '" + model +
+                              "' not one of uniform/integer/exp/pow2");
+}
+
+Instance finish(SpecArgs& args, Graph g, Rng& rng,
+                std::vector<std::uint8_t> side = {}) {
+  std::optional<std::vector<double>> w = make_weights(args, g.num_edges(), rng);
+  args.check_all_used();
+  Instance inst = w.has_value()
+                      ? Instance::weighted(
+                            make_weighted(std::move(g), std::move(*w)))
+                      : Instance::unweighted(std::move(g));
+  if (!side.empty()) inst.with_side(std::move(side));
+  return inst;
+}
+
+}  // namespace
+
+Instance make_instance(const std::string& spec, std::uint64_t seed) {
+  const auto colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  const std::string kv =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  SpecArgs args(family, kv);
+  Rng rng(seed);
+
+  const auto node_arg = [&](const char* key) {
+    const std::int64_t v = args.require_int(key);
+    if (v < 0 || v > static_cast<std::int64_t>(kInvalidNode) - 1) {
+      throw std::invalid_argument("generator '" + family + "': key '" + key +
+                                  "' out of range: " + std::to_string(v));
+    }
+    return static_cast<NodeId>(v);
+  };
+
+  if (family == "path") return finish(args, path_graph(node_arg("n")), rng);
+  if (family == "cycle") return finish(args, cycle_graph(node_arg("n")), rng);
+  if (family == "complete") {
+    return finish(args, complete_graph(node_arg("n")), rng);
+  }
+  if (family == "star") return finish(args, star_graph(node_arg("n")), rng);
+  if (family == "binary_tree") {
+    return finish(args, binary_tree(node_arg("n")), rng);
+  }
+  if (family == "tree") {
+    return finish(args, random_tree(node_arg("n"), rng), rng);
+  }
+  if (family == "grid") {
+    const NodeId rows = node_arg("rows");
+    const NodeId cols = node_arg("cols");
+    // The parity 2-coloring is known by construction; attaching it
+    // spares every bipartite-only solver the BFS.
+    std::vector<std::uint8_t> side(static_cast<std::size_t>(rows) * cols);
+    for (NodeId r = 0; r < rows; ++r) {
+      for (NodeId c = 0; c < cols; ++c) {
+        side[static_cast<std::size_t>(r) * cols + c] = (r + c) % 2;
+      }
+    }
+    return finish(args, grid_graph(rows, cols), rng, std::move(side));
+  }
+  if (family == "complete_bipartite") {
+    const NodeId a = node_arg("a");
+    const NodeId b = node_arg("b");
+    std::vector<std::uint8_t> side(a + b, 0);
+    std::fill(side.begin() + a, side.end(), std::uint8_t{1});
+    return finish(args, complete_bipartite(a, b), rng, std::move(side));
+  }
+  const auto density_arg = [&](NodeId denominator) {
+    if (args.has("p") && args.has("deg")) {
+      throw std::invalid_argument("generator '" + family +
+                                  "': 'p' and 'deg' are mutually exclusive");
+    }
+    return args.has("p") ? args.get_double("p", 0.0)
+                         : args.get_double("deg", 4.0) /
+                               static_cast<double>(denominator);
+  };
+
+  if (family == "er") {
+    const NodeId n = node_arg("n");
+    const double p = density_arg(n);
+    return finish(args, erdos_renyi(n, p, rng), rng);
+  }
+  if (family == "bipartite") {
+    const NodeId nx = node_arg("nx");
+    const NodeId ny = node_arg("ny");
+    const double p = density_arg(ny);
+    BipartiteGraph bg = random_bipartite(nx, ny, p, rng);
+    return finish(args, std::move(bg.graph), rng, std::move(bg.side));
+  }
+  if (family == "bipartite_regular") {
+    const NodeId nx = node_arg("nx");
+    const NodeId ny = node_arg("ny");
+    const NodeId d = node_arg("d");
+    BipartiteGraph bg = random_bipartite_regular_left(nx, ny, d, rng);
+    return finish(args, std::move(bg.graph), rng, std::move(bg.side));
+  }
+  if (family == "regular") {
+    const NodeId n = node_arg("n");
+    const NodeId d = node_arg("d");
+    return finish(args, random_regular(n, d, rng), rng);
+  }
+  if (family == "tight_chain") {
+    TightChain tc = tight_bipartite_chain(
+        static_cast<int>(args.require_int("k")), node_arg("copies"));
+    return finish(args, std::move(tc.graph), rng, std::move(tc.side));
+  }
+  if (family == "greedy_trap") {
+    WeightedGraph wg = greedy_trap_path(node_arg("gadgets"),
+                                        args.get_double("eps", 0.001));
+    args.check_all_used();
+    return Instance::weighted(std::move(wg));
+  }
+  if (family == "increasing_path") {
+    WeightedGraph wg = increasing_path(node_arg("n"));
+    args.check_all_used();
+    return Instance::weighted(std::move(wg));
+  }
+  throw std::invalid_argument("unknown generator family '" + family +
+                              "' in spec '" + spec + "'");
+}
+
+namespace {
+
+struct OracleChoice {
+  std::string solver;  // "" = none
+  std::string kind;    // "exact" | "upper_bound" | "reference" | "none"
+  /// Multiplier turning the oracle's objective into a certified upper
+  /// bound on the optimum: 1 for exact oracles, 1/guarantee for
+  /// approximate ones (a g-approximation M has OPT <= w(M)/g).
+  double bound_factor = 1.0;
+};
+
+/// Exact when affordable, certified 1/guarantee-scaled bound otherwise.
+/// `weighted_objective` is the *solver's* objective, not the instance's:
+/// a weight-blind solver on a weighted instance is measured (and its
+/// oracle chosen) in cardinality, so its guarantee stays comparable.
+/// `bipartite` is passed in so the caller's one BFS is the only one.
+OracleChoice resolve_oracle(const std::string& requested, const Instance& inst,
+                            bool weighted_objective, bool bipartite) {
+  if (requested == "none") return {"", "none", 1.0};
+  if (requested != "auto") {
+    const MatchingSolver& s = SolverRegistry::global().at(requested);
+    // Primitives return no matching, so their objective is always 0.
+    if (s.capabilities().primitive) {
+      throw std::invalid_argument("oracle '" + requested +
+                                  "' is a primitive, not a matching solver");
+    }
+    // An oracle optimizing a different objective than the one the run
+    // is measured in certifies nothing (e.g. the Hopcroft-Karp optimum
+    // is no weight bound): reject rather than emit a bogus "exact".
+    if (s.capabilities().weighted != weighted_objective) {
+      throw std::invalid_argument(
+          "oracle '" + requested + "' optimizes " +
+          (s.capabilities().weighted ? "weight" : "cardinality") +
+          " but the run is measured in " +
+          (weighted_objective ? "weight" : "cardinality"));
+    }
+    if (s.capabilities().exact) return {requested, "exact", 1.0};
+    const double g = s.guarantee(SolverConfig());
+    // A guarantee-less oracle certifies nothing: the comparison is just
+    // a reference ratio, not a bound.
+    if (g <= 0.0) return {requested, "reference", 1.0};
+    return {requested, "upper_bound", 1.0 / g};
+  }
+  const NodeId n = inst.graph().num_nodes();
+  // Single source of truth for the fallback's bound: its own guarantee
+  // (a g-approximation M certifies OPT <= objective(M)/g).
+  const auto certified = [](const char* name) {
+    const double g =
+        SolverRegistry::global().at(name).guarantee(SolverConfig());
+    return OracleChoice{name, "upper_bound", 1.0 / g};
+  };
+  if (weighted_objective) {
+    if (bipartite && n <= 1000) return {"hungarian", "exact", 1.0};
+    if (n <= 20) return {"exact_mwm_small", "exact", 1.0};
+    return certified("greedy_mwm");
+  }
+  if (bipartite) return {"hopcroft_karp", "exact", 1.0};
+  if (n <= 400) return {"blossom", "exact", 1.0};
+  return certified("greedy_mcm");
+}
+
+double objective(const Instance& inst, const Matching& m,
+                 bool weighted_objective) {
+  return weighted_objective ? m.weight(inst.weighted_graph())
+                            : static_cast<double>(m.size());
+}
+
+}  // namespace
+
+RunResult run_one(const RunSpec& spec) {
+  Instance inst = make_instance(spec.generator, spec.instance_seed);
+  // Attach the bipartition once: oracle resolution, the oracle, and the
+  // solver would each recompute the O(n+m) BFS otherwise. `bipartite`
+  // remembers the outcome so non-bipartite runs pay the BFS only once.
+  bool bipartite = inst.side().has_value();
+  if (!bipartite) {
+    if (auto side = inst.graph().bipartition()) {
+      inst.with_side(std::move(*side));
+      bipartite = true;
+    }
+  }
+  const MatchingSolver& solver = SolverRegistry::global().at(spec.solver);
+
+  SolverConfig config = SolverConfig::parse(spec.config);
+  // A `seed=` entry in the config string wins over the RunSpec default.
+  if (!config.seed_was_set()) config.seed(spec.solver_seed);
+  // Fail everything solve() would reject before the (possibly O(n^3))
+  // oracle run below: config typos and instance-shape mismatches.
+  solver.validate(inst, config);
+  std::unique_ptr<ThreadPool> pool;
+  if (spec.threads != 1) {
+    pool = std::make_unique<ThreadPool>(spec.threads);
+    config.pool(pool.get());
+  }
+
+  RunResult out;
+  out.spec = spec;
+  out.n = inst.graph().num_nodes();
+  out.m = inst.graph().num_edges();
+  out.max_degree = inst.graph().max_degree();
+  out.weighted = inst.has_weights();
+
+  // Ratios are measured in the solver's own objective: weight only when
+  // the solver optimizes weight, cardinality otherwise (so a 1/2-MCM
+  // guarantee is never compared against a max-weight optimum).
+  const bool weighted_objective =
+      solver.capabilities().weighted && inst.has_weights();
+
+  // Oracle first: Algorithm 4's certified early exit consumes the exact
+  // optimum through the uniform config path when the solver accepts it.
+  // Primitives have no matching objective, so the comparison is skipped.
+  const OracleChoice oracle =
+      solver.capabilities().primitive
+          ? OracleChoice{"", "none", 1.0}
+          : resolve_oracle(spec.oracle, inst, weighted_objective, bipartite);
+  out.oracle_solver = oracle.solver;
+  out.optimum_kind = oracle.kind;
+  // The solver resolved as its own oracle (an exact solver, or the
+  // certified greedy fallback measuring greedy itself): same name,
+  // same seed, and no config entries means the oracle solve would be
+  // identical — reuse the solver's result instead of running it twice.
+  const bool self_oracle = oracle.solver == spec.solver &&
+                           config.entries().empty() &&
+                           config.seed() == spec.solver_seed;
+  if (!oracle.solver.empty() && !self_oracle) {
+    const MatchingSolver& oracle_solver =
+        SolverRegistry::global().at(oracle.solver);
+    SolverConfig oracle_config;
+    oracle_config.seed(spec.solver_seed);
+    const SolveResult oracle_result = oracle_solver.solve(inst, oracle_config);
+    out.optimum = objective(inst, oracle_result.matching, weighted_objective) *
+                  oracle.bound_factor;
+    if (spec.feed_oracle && oracle.kind == "exact") {
+      const auto keys = solver.config_keys();
+      if (std::find(keys.begin(), keys.end(), "oracle_optimum_size") !=
+          keys.end()) {
+        config.set("oracle_optimum_size",
+                   std::to_string(oracle_result.matching.size()));
+      }
+    }
+  }
+
+  SolveResult result = solver.solve(inst, config);
+  if (self_oracle) {
+    out.optimum = objective(inst, result.matching, weighted_objective) *
+                  oracle.bound_factor;
+  }
+  out.wall_ms = result.wall_ms;
+  out.net = result.stats;
+  out.converged = result.converged;
+  out.metrics = std::move(result.metrics);
+  out.guarantee = solver.guarantee(config);
+  out.matching_size = result.matching.size();
+  out.matching_weight = inst.has_weights()
+                            ? result.matching.weight(inst.weighted_graph())
+                            : 0.0;
+  out.valid = is_valid_matching(inst.graph(),
+                                result.matching.edge_ids(inst.graph()));
+  out.maximal = !solver.capabilities().primitive &&
+                is_maximal_matching(inst.graph(), result.matching);
+  if (out.optimum > 0.0 && !solver.capabilities().primitive) {
+    out.ratio =
+        objective(inst, result.matching, weighted_objective) / out.optimum;
+  }
+  return out;
+}
+
+std::string RunResult::to_json() const {
+  JsonObject metrics_obj;
+  for (const auto& [key, value] : metrics) metrics_obj.add(key, value);
+  JsonObject o;
+  o.add("solver", spec.solver)
+      .add("generator", spec.generator)
+      .add("config", spec.config)
+      .add("instance_seed", spec.instance_seed)
+      .add("solver_seed", spec.solver_seed)
+      .add("threads", static_cast<std::uint64_t>(spec.threads))
+      .add("oracle", spec.oracle)
+      .add("feed_oracle", spec.feed_oracle)
+      .add("n", static_cast<std::uint64_t>(n))
+      .add("m", static_cast<std::uint64_t>(m))
+      .add("max_degree", static_cast<std::uint64_t>(max_degree))
+      .add("weighted", weighted)
+      .add("wall_ms", wall_ms)
+      .add("rounds", net.rounds)
+      .add("messages", net.messages)
+      .add("total_bits", net.total_bits)
+      .add("max_message_bits", net.max_message_bits)
+      .add("matching_size", static_cast<std::uint64_t>(matching_size))
+      .add("matching_weight", matching_weight)
+      .add("valid", valid)
+      .add("maximal", maximal)
+      .add("converged", converged)
+      .add("guarantee", guarantee)
+      .add("oracle_solver", oracle_solver)
+      .add("optimum_kind", optimum_kind)
+      .add("optimum", optimum)
+      .add("ratio", ratio)
+      .add("metrics", metrics_obj);
+  return o.str();
+}
+
+std::string write_json(const RunResult& result, const std::string& dir,
+                       const std::string& name_hint) {
+  std::string stem = name_hint;
+  if (stem.empty()) {
+    // Every spec field that changes the record is part of the stem, so
+    // sweeps over any single knob never clobber each other's files.
+    stem = result.spec.solver + "__" + result.spec.generator + "__s" +
+           std::to_string(result.spec.instance_seed) + "-" +
+           std::to_string(result.spec.solver_seed);
+    if (!result.spec.config.empty()) stem += "__" + result.spec.config;
+    if (result.spec.threads != 1) {
+      stem += "__t" + std::to_string(result.spec.threads);
+    }
+    if (result.spec.oracle != "auto") stem += "__o-" + result.spec.oracle;
+    if (result.spec.feed_oracle) stem += "__fed";
+  }
+  for (char& c : stem) {
+    if (c == ':' || c == ',' || c == '=' || c == '/' || c == ' ') c = '-';
+  }
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + stem + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("write_json: cannot open '" + path + "'");
+  }
+  os << result.to_json() << "\n";
+  return path;
+}
+
+}  // namespace lps::api

@@ -1,0 +1,97 @@
+// The data-driven run harness: (generator spec, solver name, config,
+// seeds, threads) -> structured, machine-readable results. Benches,
+// examples, and tests describe *what* to run; the runner owns the
+// mechanics — instance construction, thread-pool plumbing, oracle
+// resolution, validity auditing, and JSON emission.
+//
+// Generator specs are `family:k1=v1,k2=v2` strings (util/options kv
+// grammar after the colon):
+//
+//   path:n=16            cycle:n=63          complete:n=16
+//   star:n=50            binary_tree:n=31    tree:n=100   (random tree)
+//   grid:rows=12,cols=12                     complete_bipartite:a=8,b=8
+//   er:n=128,p=0.05      er:n=128,deg=4      (deg -> p = deg/n)
+//   bipartite:nx=64,ny=64,p=0.06             (or deg -> p = deg/ny)
+//   bipartite_regular:nx=64,ny=64,d=6        regular:n=64,d=4
+//   tight_chain:k=3,copies=16
+//   greedy_trap:gadgets=16,eps=0.001         increasing_path:n=64
+//
+// Any family (except the intrinsically weighted last two) takes an
+// optional weight model: `w=uniform,wlo=1,whi=100` | `w=integer,
+// wmax=64` | `w=exp,wmean=8` | `w=pow2,wlevels=10`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "api/solver.hpp"
+
+namespace lps::api {
+
+/// Build an Instance from a generator spec; `seed` drives all
+/// randomness (graph and weights). Bipartite families attach the side.
+Instance make_instance(const std::string& spec, std::uint64_t seed);
+
+struct RunSpec {
+  std::string generator;          // generator spec string (see above)
+  std::string solver;             // registry name
+  std::string config;             // solver config kv list ("" = defaults)
+  std::uint64_t instance_seed = 1;
+  /// Default solver seed; a `seed=` entry in `config` takes precedence.
+  std::uint64_t solver_seed = 1;
+  unsigned threads = 1;           // 1 = inline; 0 = hardware concurrency
+  /// "auto" picks the cheapest exact oracle for the instance shape and
+  /// falls back to the certified 2x-greedy upper bound at scale;
+  /// "none" skips the comparison; any registry name forces that solver.
+  std::string oracle = "auto";
+  /// When true and the solver accepts the key, the exact optimum is
+  /// passed as config `oracle_optimum_size` (Algorithm 4's certified
+  /// early exit).
+  bool feed_oracle = false;
+};
+
+struct RunResult {
+  RunSpec spec;
+  // Instance shape.
+  NodeId n = 0;
+  EdgeId m = 0;
+  NodeId max_degree = 0;
+  bool weighted = false;
+  // Solve outcome.
+  double wall_ms = 0.0;
+  NetStats net;
+  std::size_t matching_size = 0;
+  double matching_weight = 0.0;
+  bool valid = false;
+  bool maximal = false;
+  bool converged = false;
+  double guarantee = 0.0;
+  std::map<std::string, double> metrics;
+  // Oracle comparison, measured in the *solver's* objective (weight
+  // only when the solver optimizes weight, cardinality otherwise — a
+  // weight-blind solver on a weighted instance gets the MCM oracle, so
+  // its guarantee stays comparable). `optimum` is the exact objective,
+  // the certified upper bound, or (for a guarantee-less explicit
+  // oracle) a mere reference value; `ratio` = achieved / optimum (-1
+  // when the oracle is "none" or the optimum is 0).
+  std::string oracle_solver;  // registry name actually used ("" = none)
+  std::string optimum_kind;   // "exact" | "upper_bound" | "reference" | "none"
+  double optimum = 0.0;
+  double ratio = -1.0;
+
+  /// The flat JSON record (one line).
+  std::string to_json() const;
+};
+
+/// Execute one run end to end. Throws std::invalid_argument on unknown
+/// solvers, malformed specs, or capability mismatches.
+RunResult run_one(const RunSpec& spec);
+
+/// Write `result.to_json()` to `<dir>/<derived-name>.json` (directories
+/// created as needed; existing files overwritten). Returns the path.
+/// `name_hint` overrides the derived file stem when non-empty.
+std::string write_json(const RunResult& result, const std::string& dir,
+                       const std::string& name_hint = "");
+
+}  // namespace lps::api

@@ -13,7 +13,8 @@
 // The globally heaviest alive edge is always mutually pointed at, so
 // progress is guaranteed; the increasing-weight path drives the protocol
 // through Theta(n) rounds (the paper's motivation for preferring
-// O(log n) randomized algorithms), which bench_baselines demonstrates.
+// O(log n) randomized algorithms), which bench_theorems' BASE.b
+// experiment demonstrates.
 #pragma once
 
 #include "graph/matching.hpp"

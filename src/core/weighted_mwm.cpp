@@ -28,6 +28,11 @@ MwmBlackBox greedy_black_box() {
   };
 }
 
+std::uint64_t weighted_mwm_iteration_budget(double delta, double eps) {
+  return static_cast<std::uint64_t>(
+      std::ceil(3.0 / (2.0 * delta) * std::log(2.0 / eps)));
+}
+
 WeightedMwmResult weighted_mwm(const WeightedGraph& wg,
                                const WeightedMwmOptions& opts) {
   if (!(opts.eps > 0.0) || opts.eps >= 1.0) {
@@ -42,8 +47,7 @@ WeightedMwmResult weighted_mwm(const WeightedGraph& wg,
   const std::uint64_t iterations =
       opts.max_iterations != 0
           ? opts.max_iterations
-          : static_cast<std::uint64_t>(std::ceil(
-                3.0 / (2.0 * opts.delta) * std::log(2.0 / opts.eps)));
+          : weighted_mwm_iteration_budget(opts.delta, opts.eps);
 
   WeightedMwmResult result;
   result.matching = Matching(g.num_nodes());

@@ -4,6 +4,70 @@
 
 namespace lps {
 
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_kv_list(const std::string& spec) {
+  std::map<std::string, std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = trim(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    std::string key = eq == std::string::npos ? entry : entry.substr(0, eq);
+    std::string value =
+        eq == std::string::npos ? std::string("true") : entry.substr(eq + 1);
+    key = trim(key);
+    if (key.empty()) {
+      throw std::invalid_argument("parse_kv_list: empty key in '" + spec + "'");
+    }
+    if (!out.emplace(key, trim(value)).second) {
+      throw std::invalid_argument("parse_kv_list: duplicate key '" + key +
+                                  "' in '" + spec + "'");
+    }
+  }
+  return out;
+}
+
+std::int64_t parse_int_value(const std::string& key, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for '" + key + "': '" + v + "'");
+  }
+}
+
+double parse_double_value(const std::string& key, const std::string& v) {
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument("trailing characters");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number for '" + key + "': '" + v + "'");
+  }
+}
+
+bool parse_bool_value(const std::string& key, const std::string& v) {
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("bad boolean for '" + key + "': '" + v + "'");
+}
+
 Options::Options(int argc, char** argv) {
   program_ = argc > 0 ? argv[0] : "";
   for (int i = 1; i < argc; ++i) {
@@ -38,22 +102,19 @@ std::int64_t Options::get_int(const std::string& key,
                               std::int64_t fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  return parse_int_value("--" + key, it->second);
 }
 
 double Options::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  return parse_double_value("--" + key, it->second);
 }
 
 bool Options::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  const std::string& v = it->second;
-  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
-  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
-  throw std::invalid_argument("Options: bad boolean for --" + key);
+  return parse_bool_value("--" + key, it->second);
 }
 
 }  // namespace lps

@@ -1,4 +1,5 @@
-// Tiny command-line option parser for the bench and example binaries.
+// Tiny command-line option parser for the bench and example binaries,
+// plus the shared key/value parsing that api::SolverConfig builds on.
 // Supports `--key=value`, `--key value`, and boolean `--flag` forms.
 #pragma once
 
@@ -8,6 +9,18 @@
 #include <vector>
 
 namespace lps {
+
+/// Parse a comma-separated `k1=v1,k2=v2` list into a map; a bare entry
+/// without `=` becomes `key -> "true"` (flag form). Whitespace around
+/// entries is trimmed. Throws std::invalid_argument on empty keys or
+/// duplicate keys.
+std::map<std::string, std::string> parse_kv_list(const std::string& spec);
+
+/// Scalar parsers shared by Options and api::SolverConfig; `key` only
+/// names the offender in the error message.
+std::int64_t parse_int_value(const std::string& key, const std::string& v);
+double parse_double_value(const std::string& key, const std::string& v);
+bool parse_bool_value(const std::string& key, const std::string& v);
 
 class Options {
  public:
