@@ -29,6 +29,13 @@ inline void print_table(const Table& t) {
   std::cout << "\n" << std::flush;
 }
 
+/// Fixed-point cell formatting (Table::cell(double) prints %g).
+inline std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
 /// Certified upper bound on w(M*) usable at any scale: the greedy
 /// matching is a 1/2-MWM, so w(M*) <= 2 * w(greedy).
 inline double mwm_upper_bound(const WeightedGraph& wg) {

@@ -167,11 +167,7 @@ const Row kRows[] = {
     {"T4.5-delta", "bip ER n=256 w~U[1,256]", "bipartite:nx=128,ny=128,deg=6,w=uniform,wlo=1,whi=256", "class_mwm", "", 0, false, 0},
 };
 
-std::string fmt(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-  return buf;
-}
+using bench::fmt;
 
 /// The claimed round budget for the row's theorem, so the table can
 /// print rounds/claim — flat across n is the paper's scaling evidence

@@ -10,6 +10,8 @@
 #include "api/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
+#include "lca/batch.hpp"
+#include "lca/oracle.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
@@ -280,6 +282,67 @@ double objective(const Instance& inst, const Matching& m,
                             : static_cast<double>(m.size());
 }
 
+/// Salt for the query-sampling substream, so the sampled edge stream is
+/// independent of every solver/generator draw under the same seed.
+constexpr std::uint64_t kLcaQuerySalt = 0x9c5a11edull;
+
+/// The LCA leg: build the oracle fleet, fan the edge queries across the
+/// pool, audit agreement against the global matching when the oracle
+/// pairs with the run's solver, and record the cost counters.
+void run_lca_leg(const RunSpec& spec, const Instance& inst,
+                 const SolverConfig& config, const Matching& global,
+                 ThreadPool* pool, RunResult& out) {
+  std::string oracle_name = spec.lca;
+  if (oracle_name == "auto") {
+    if (!lca::has_oracle(spec.solver)) {
+      throw std::invalid_argument("lca=auto: solver '" + spec.solver +
+                                  "' has no LCA oracle");
+    }
+    oracle_name = spec.solver;
+  }
+  const bool paired = oracle_name == spec.solver;
+  lca::OracleOptions oopts;
+  oopts.seed = config.seed();
+  oopts.cache_capacity = static_cast<std::size_t>(spec.lca_cache);
+  // Only a paired oracle inherits the solver's config keys: an oracle
+  // exercised against a different solver's run would reject them.
+  if (paired) oopts.config = config.entries();
+  const Graph& g = inst.graph();
+  // Validate the name (and the config keys) even when there is nothing
+  // to query, so typos fail loudly on zero-edge sweep rows too.
+  lca::BatchEngine engine(
+      [&] { return lca::make_oracle(oracle_name, g, oopts); }, pool);
+  out.lca_oracle = oracle_name;
+  if (g.num_edges() == 0) return;
+
+  std::vector<EdgeId> queries;
+  if (spec.lca_queries == 0) {
+    queries.resize(g.num_edges());
+    for (EdgeId e = 0; e < g.num_edges(); ++e) queries[e] = e;
+  } else {
+    Rng rng = Rng::substream(config.seed(), kLcaQuerySalt);
+    queries.reserve(spec.lca_queries);
+    for (std::uint64_t i = 0; i < spec.lca_queries; ++i) {
+      queries.push_back(static_cast<EdgeId>(rng.below(g.num_edges())));
+    }
+  }
+  const lca::EdgeBatchResult batch = engine.query_edges(queries);
+  out.lca_queries = batch.stats.oracle.queries;
+  out.lca_probes_per_query = batch.stats.oracle.probes_per_query();
+  out.lca_queries_per_sec = batch.stats.queries_per_sec();
+  out.lca_cache_hit_rate = batch.stats.oracle.cache_hit_rate();
+  if (paired) {
+    out.lca_agree = 1;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const bool global_says = global.contains(g, queries[i]);
+      if (global_says != (batch.in_matching[i] != 0)) {
+        out.lca_agree = 0;
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 RunResult run_one(const RunSpec& spec) {
@@ -377,6 +440,9 @@ RunResult run_one(const RunSpec& spec) {
     out.ratio =
         objective(inst, result.matching, weighted_objective) / out.optimum;
   }
+  if (!spec.lca.empty()) {
+    run_lca_leg(spec, inst, config, result.matching, pool.get(), out);
+  }
   return out;
 }
 
@@ -411,6 +477,12 @@ std::string RunResult::to_json() const {
       .add("optimum_kind", optimum_kind)
       .add("optimum", optimum)
       .add("ratio", ratio)
+      .add("lca_oracle", lca_oracle)
+      .add("lca_queries", lca_queries)
+      .add("lca_probes_per_query", lca_probes_per_query)
+      .add("lca_queries_per_sec", lca_queries_per_sec)
+      .add("lca_cache_hit_rate", lca_cache_hit_rate)
+      .add("lca_agree", lca_agree)
       .add("metrics", metrics_obj);
   return o.str();
 }
@@ -430,6 +502,10 @@ std::string write_json(const RunResult& result, const std::string& dir,
     }
     if (result.spec.oracle != "auto") stem += "__o-" + result.spec.oracle;
     if (result.spec.feed_oracle) stem += "__fed";
+    if (!result.spec.lca.empty()) {
+      stem += "__lca-" + result.spec.lca + "-q" +
+              std::to_string(result.spec.lca_queries);
+    }
   }
   for (char& c : stem) {
     if (c == ':' || c == ',' || c == '=' || c == '/' || c == ' ') c = '-';

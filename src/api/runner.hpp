@@ -49,6 +49,18 @@ struct RunSpec {
   /// passed as config `oracle_optimum_size` (Algorithm 4's certified
   /// early exit).
   bool feed_oracle = false;
+  /// LCA query-oracle leg (src/lca), run after the solve: "" skips it,
+  /// "auto" uses the oracle paired with `solver` (throws when none
+  /// exists), any other value names an oracle explicitly. The oracle
+  /// runs with the solver's seed; when it pairs with `solver` its
+  /// per-edge answers are audited against the global matching.
+  std::string lca;
+  /// Edge queries to issue: 0 = every edge once (the consistency
+  /// sweep); otherwise that many uniform samples with replacement (the
+  /// cache-amortization serving scenario).
+  std::uint64_t lca_queries = 0;
+  /// Oracle memo bound (entries per table); 0 = oracle default.
+  std::uint64_t lca_cache = 0;
 };
 
 struct RunResult {
@@ -79,6 +91,18 @@ struct RunResult {
   std::string optimum_kind;   // "exact" | "upper_bound" | "reference" | "none"
   double optimum = 0.0;
   double ratio = -1.0;
+  // LCA query-oracle leg (empty/zero unless spec.lca was set). The
+  // probes-per-query column is the subsystem's headline number: it must
+  // grow sublinearly in n where a global solve grows at least linearly.
+  std::string lca_oracle;          // oracle actually used ("" = none)
+  std::uint64_t lca_queries = 0;   // queries actually issued
+  double lca_probes_per_query = 0.0;
+  double lca_queries_per_sec = 0.0;
+  double lca_cache_hit_rate = 0.0;
+  /// 1 = every queried edge agreed with the global matching, 0 = some
+  /// disagreed, -1 = not audited (oracle not paired with the solver,
+  /// or no queries ran).
+  int lca_agree = -1;
 
   /// The flat JSON record (one line).
   std::string to_json() const;

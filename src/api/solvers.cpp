@@ -19,6 +19,7 @@
 #include "core/israeli_itai.hpp"
 #include "core/pipelined_max.hpp"
 #include "core/weighted_mwm.hpp"
+#include "lca/rank_greedy.hpp"
 #include "seq/blossom.hpp"
 #include "seq/exact_small.hpp"
 #include "seq/greedy.hpp"
@@ -382,6 +383,17 @@ void register_seq(SolverRegistry& reg) {
       [](const SolverConfig&) { return 0.5; },
       [](const Instance& inst, const SolverConfig&) {
         return make_result(greedy_mcm(inst.graph()));
+      });
+
+  add(reg, "rank_greedy_mcm",
+      "Greedy maximal matching over a seed-derived random edge order "
+      "(1/2-MCM): the virtual global execution behind the src/lca "
+      "rank-greedy query oracle [Nguyen-Onak style]",
+      {.bipartite = true, .general = true, .maximal = true}, {},
+      [](const SolverConfig&) { return 0.5; },
+      [](const Instance& inst, const SolverConfig& cfg) {
+        return make_result(
+            lca::rank_greedy_matching(inst.graph(), cfg.seed()));
       });
 
   add(reg, "greedy_mwm",

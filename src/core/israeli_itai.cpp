@@ -19,6 +19,11 @@ std::uint64_t ii_bits(const IiMessage&) { return 8; }
 
 }  // namespace
 
+std::uint64_t israeli_itai_default_max_phases(NodeId n) {
+  return 40 + 12 * static_cast<std::uint64_t>(
+                       std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+}
+
 DistMatchingResult israeli_itai(const Graph& g,
                                 const IsraeliItaiOptions& opts) {
   const NodeId n = g.num_nodes();
@@ -69,11 +74,9 @@ DistMatchingResult israeli_itai(const Graph& g,
   SyncNetwork<IiMessage> net(g, opts.seed, ii_bits);
   net.set_thread_pool(opts.pool);
 
-  const std::uint64_t max_phases =
-      opts.max_phases != 0
-          ? opts.max_phases
-          : 40 + 12 * static_cast<std::uint64_t>(
-                          std::ceil(std::log2(static_cast<double>(n) + 1.0)));
+  const std::uint64_t max_phases = opts.max_phases != 0
+                                       ? opts.max_phases
+                                       : israeli_itai_default_max_phases(n);
 
   auto step = [&](SyncNetwork<IiMessage>::Ctx& ctx) {
     const NodeId v = ctx.id();

@@ -49,4 +49,9 @@ struct DistMatchingResult {
 DistMatchingResult israeli_itai(const Graph& g,
                                 const IsraeliItaiOptions& opts = {});
 
+/// The phase budget used when max_phases == 0: 40 + 12 ceil(log2(n+1)),
+/// comfortably past the O(log n) w.h.p. convergence point. Exported so
+/// the lca oracle simulates exactly the budget the solver runs.
+std::uint64_t israeli_itai_default_max_phases(NodeId n);
+
 }  // namespace lps

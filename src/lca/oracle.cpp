@@ -1,0 +1,61 @@
+#include "lca/oracle.hpp"
+
+#include <stdexcept>
+
+#include "lca/israeli_itai_oracle.hpp"
+#include "lca/rank_greedy.hpp"
+
+namespace lps::lca {
+namespace {
+
+/// Single source of truth for the oracle inventory: make_oracle,
+/// oracle_names, and has_oracle all read this table, so adding an
+/// oracle is one entry (kept sorted by name).
+struct OracleEntry {
+  const char* name;
+  std::unique_ptr<MatchingOracle> (*make)(const Graph&,
+                                          const OracleOptions&);
+};
+
+template <typename O>
+std::unique_ptr<MatchingOracle> construct(const Graph& g,
+                                          const OracleOptions& opts) {
+  return std::make_unique<O>(g, opts);
+}
+
+constexpr OracleEntry kOracles[] = {
+    {"israeli_itai", construct<IsraeliItaiOracle>},
+    {"rank_greedy_mcm", construct<RankGreedyOracle>},
+};
+
+}  // namespace
+
+std::unique_ptr<MatchingOracle> make_oracle(const std::string& name,
+                                            const Graph& g,
+                                            const OracleOptions& opts) {
+  for (const OracleEntry& entry : kOracles) {
+    if (name == entry.name) return entry.make(g, opts);
+  }
+  std::string names;
+  for (const std::string& known : oracle_names()) {
+    if (!names.empty()) names += ", ";
+    names += known;
+  }
+  throw std::invalid_argument("lca::make_oracle: no oracle named '" + name +
+                              "' (have: " + names + ")");
+}
+
+std::vector<std::string> oracle_names() {
+  std::vector<std::string> out;
+  for (const OracleEntry& entry : kOracles) out.push_back(entry.name);
+  return out;
+}
+
+bool has_oracle(const std::string& name) {
+  for (const OracleEntry& entry : kOracles) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+}  // namespace lps::lca

@@ -1,0 +1,115 @@
+// The local computation oracle subsystem: sublinear per-query matching
+// answers without running a global algorithm.
+//
+// The paper's algorithms are local by construction — a node's output is
+// a function of its radius-k ball — which is exactly the property local
+// computation algorithms (LCAs) exploit: instead of one monolithic
+// solve, a MatchingOracle answers point queries ("is edge e matched?",
+// "whom is v matched to?") by simulating the registered global
+// algorithm *only inside the queried ball*, reading the graph through a
+// probe-metered GraphAccess adapter.
+//
+// Consistency contract: an oracle constructed with seed s answers every
+// query as if one virtual global execution of its solver had run with
+// seed s. All randomness is drawn from the same Rng::substream
+// derivations the global solvers use, so the union of per-edge oracle
+// answers equals the matching of `SolverRegistry::global()
+// .at(oracle->solver()).solve(instance, config.seed(s))` exactly —
+// tests/test_lca.cpp proves set equality per seed.
+//
+// Oracles memoize evaluated node/edge states in bounded LRU caches:
+// correlated queries amortize (cache hits cost no probes), and eviction
+// is always safe because every cached record is a pure function of
+// (graph, seed). Oracles are therefore NOT thread-safe; the batch
+// engine (batch.hpp) gives each worker a private instance instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lps::lca {
+
+/// Cumulative cost counters since construction. probes is the LCA cost
+/// measure (see graph_access.hpp); cache hits/misses aggregate over all
+/// of an oracle's internal memo tables.
+struct OracleStats {
+  std::uint64_t queries = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  double probes_per_query() const noexcept {
+    return queries == 0 ? 0.0 : static_cast<double>(probes) /
+                                    static_cast<double>(queries);
+  }
+  double cache_hit_rate() const noexcept {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+
+  OracleStats& operator+=(const OracleStats& o) noexcept {
+    queries += o.queries;
+    probes += o.probes;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    return *this;
+  }
+  OracleStats& operator-=(const OracleStats& o) noexcept {
+    queries -= o.queries;
+    probes -= o.probes;
+    cache_hits -= o.cache_hits;
+    cache_misses -= o.cache_misses;
+    return *this;
+  }
+};
+
+class MatchingOracle {
+ public:
+  virtual ~MatchingOracle() = default;
+
+  /// Oracle name == the registry name of the global solver whose
+  /// matching it reproduces (the pairing the runner's agreement audit
+  /// keys on).
+  virtual std::string name() const = 0;
+
+  /// The mate of v in the virtual global execution, or kInvalidNode
+  /// when v is free. Counts as one query.
+  virtual NodeId matched_to(NodeId v) = 0;
+
+  /// Whether edge e is in the virtual global execution's matching.
+  /// Counts as one query.
+  virtual bool in_matching(EdgeId e) = 0;
+
+  virtual OracleStats stats() const = 0;
+};
+
+struct OracleOptions {
+  std::uint64_t seed = 1;
+  /// Per-memo-table entry bound; 0 picks a per-oracle default. The
+  /// runner maps RunSpec::lca_cache here.
+  std::size_t cache_capacity = 0;
+  /// Solver-specific configuration, same key space as the solver's
+  /// SolverConfig (israeli_itai: max_phases). Unknown keys throw.
+  std::map<std::string, std::string> config;
+};
+
+/// Construct the oracle for a registered solver by name; throws
+/// std::invalid_argument listing oracle_names() on an unknown name.
+/// The graph must outlive the oracle.
+std::unique_ptr<MatchingOracle> make_oracle(const std::string& name,
+                                            const Graph& g,
+                                            const OracleOptions& opts = {});
+
+/// Solver names that have an LCA oracle, sorted.
+std::vector<std::string> oracle_names();
+
+bool has_oracle(const std::string& name);
+
+}  // namespace lps::lca

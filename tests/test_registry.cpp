@@ -85,7 +85,9 @@ TEST(Registry, EveryCoreAndSeqAlgorithmIsRegistered) {
       "hoepman_mwm", "class_mwm", "weighted_mwm", "pipelined_max",
       // src/seq
       "greedy_mcm", "greedy_mwm", "locally_heaviest_mwm", "hopcroft_karp",
-      "blossom", "hungarian", "exact_mcm_small", "exact_mwm_small"};
+      "blossom", "hungarian", "exact_mcm_small", "exact_mwm_small",
+      // src/lca (the rank-greedy oracle's global companion)
+      "rank_greedy_mcm"};
   const auto names = SolverRegistry::global().names();
   const std::set<std::string> actual(names.begin(), names.end());
   EXPECT_EQ(actual, expected);
