@@ -2,7 +2,21 @@
 // (engineering numbers, not paper claims): exact solvers, the
 // synchronous engine's per-round overhead, BigCounter arithmetic, and
 // the generators.
+//
+// Extra modes (custom main):
+//   --engine-json[=PATH]  run the engine round-throughput sweep (3 sizes
+//                         x 2 densities, fixed seeds) and write PATH
+//                         (default BENCH_engine.json, for committing to
+//                         the repo root so future PRs can diff).
+//   --smoke               tiny sweep + engine sanity asserts, exit 0/1;
+//                         the CI bench smoke job runs this in Release.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/bipartite_counting.hpp"
 #include "core/israeli_itai.hpp"
@@ -77,25 +91,36 @@ void BM_Hungarian(benchmark::State& state) {
 }
 BENCHMARK(BM_Hungarian)->Arg(32)->Arg(128);
 
+// Light-traffic round workload shared by BM_EngineRound, --engine-json
+// and --smoke: every 8th node sends one message on its first edge and
+// keeps itself active; everyone else only wakes when a message arrives.
+// Under active-set scheduling the per-round cost tracks those ~n/4
+// touched nodes, not n + m.
+struct EngineMsg {
+  std::uint32_t x;
+};
+using EngineNet = SyncNetwork<EngineMsg, DefaultBitMeter<EngineMsg>>;
+
+struct EngineStep {
+  void operator()(EngineNet::Ctx& ctx) const {
+    if ((ctx.id() & 7u) == 0) {
+      ctx.keep_active();
+      for (const auto& inc : ctx.graph().neighbors(ctx.id())) {
+        ctx.send(inc.edge, EngineMsg{ctx.id()});
+        break;
+      }
+    }
+  }
+};
+
 void BM_EngineRound(benchmark::State& state) {
   // Per-round overhead of the synchronous engine with light traffic.
   const NodeId n = static_cast<NodeId>(state.range(0));
   Rng rng(15);
   const Graph g = erdos_renyi(n, 4.0 / n, rng);
-  struct Msg {
-    std::uint32_t x;
-  };
-  SyncNetwork<Msg> net(g, 1);
-  auto step = [&](SyncNetwork<Msg>::Ctx& ctx) {
-    if ((ctx.id() & 7u) == 0) {
-      for (const auto& inc : ctx.graph().neighbors(ctx.id())) {
-        ctx.send(inc.edge, Msg{ctx.id()});
-        break;
-      }
-    }
-  };
+  EngineNet net(g, 1, {});
   for (auto _ : state) {
-    net.run_round(step);
+    net.run_round(EngineStep{});
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
@@ -169,7 +194,170 @@ void BM_BigCounterSampleBelow(benchmark::State& state) {
 }
 BENCHMARK(BM_BigCounterSampleBelow)->Arg(4)->Arg(64);
 
+// ------------------------- engine round-throughput sweep (BENCH_engine) --
+
+struct EngineRunResult {
+  NodeId n;
+  double avg_deg;
+  EdgeId m;
+  std::uint64_t rounds;
+  std::uint64_t messages;
+  double elapsed;
+
+  double rounds_per_sec() const { return rounds / elapsed; }
+  double messages_per_sec() const { return messages / elapsed; }
+  double ns_per_message() const { return 1e9 * elapsed / messages; }
+};
+
+/// Time the EngineStep workload on erdos_renyi(n, avg_deg/n, seed 15):
+/// 3 warmup rounds, then rounds until min_seconds elapse (>= 10 rounds).
+EngineRunResult measure_engine_rounds(NodeId n, double avg_deg,
+                                      double min_seconds) {
+  Rng rng(15);
+  const Graph g = erdos_renyi(n, avg_deg / n, rng);
+  EngineNet net(g, 1, {});
+  for (int r = 0; r < 3; ++r) net.run_round(EngineStep{});
+  const std::uint64_t msgs0 = net.stats().messages;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t rounds = 0;
+  double elapsed = 0.0;
+  while (elapsed < min_seconds || rounds < 10) {
+    net.run_round(EngineStep{});
+    ++rounds;
+    elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return {n,      avg_deg, g.num_edges(),
+          rounds, net.stats().messages - msgs0, elapsed};
+}
+
 }  // namespace
+
+int run_engine_sweep(const std::string& json_path, bool smoke) {
+  const double min_seconds = smoke ? 0.02 : 0.5;
+  std::vector<std::pair<NodeId, double>> configs;
+  if (smoke) {
+    configs = {{1u << 10, 4.0}, {1u << 12, 16.0}};
+  } else {
+    configs = {{1u << 14, 4.0},  {1u << 14, 16.0}, {1u << 17, 4.0},
+               {1u << 17, 16.0}, {1u << 20, 4.0},  {1u << 20, 16.0}};
+  }
+  std::vector<EngineRunResult> results;
+  for (const auto& [n, avg_deg] : configs) {
+    EngineRunResult r = measure_engine_rounds(n, avg_deg, min_seconds);
+    if (r.messages == 0 || r.rounds == 0) {
+      std::fprintf(stderr, "engine sweep: no traffic at n=%u\n", n);
+      return 1;
+    }
+    std::printf(
+        "engine n=%-8u avg_deg=%-4.0f m=%-9u rounds/s=%-10.1f "
+        "msgs/s=%-12.0f ns/msg=%.1f\n",
+        r.n, r.avg_deg, r.m, r.rounds_per_sec(), r.messages_per_sec(),
+        r.ns_per_message());
+    results.push_back(r);
+  }
+  if (json_path.empty()) return 0;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"schema\": \"lps-bench-engine-v1\",\n"
+      << "  \"harness\": \"erdos_renyi(n, avg_deg/n, seed 15); every 8th "
+         "node keep-active-sends 1 msg on its first edge per round; 3 "
+         "warmup rounds then >=0.5s timed\",\n"
+      << "  \"generated_by\": \"bench_micro --engine-json\",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const EngineRunResult& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"n\": %u, \"avg_deg\": %.0f, \"m\": %u, "
+                  "\"rounds\": %llu, \"rounds_per_sec\": %.1f, "
+                  "\"messages_per_sec\": %.0f, "
+                  "\"ns_per_delivered_message\": %.1f}%s\n",
+                  r.n, r.avg_deg, r.m,
+                  static_cast<unsigned long long>(r.rounds),
+                  r.rounds_per_sec(), r.messages_per_sec(),
+                  r.ns_per_message(), i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+/// Cheap invariant checks for the CI smoke job: crash/assert here means
+/// the engine or a migrated protocol regressed in Release mode.
+int run_smoke_checks() {
+  // Active-set and step-everything executions must be bit-identical.
+  Rng rng(77);
+  const Graph g = erdos_renyi(1u << 10, 6.0 / (1u << 10), rng);
+  IsraeliItaiOptions a;
+  a.seed = 9;
+  IsraeliItaiOptions b = a;
+  b.step_all_nodes = true;
+  const auto ra = israeli_itai(g, a);
+  const auto rb = israeli_itai(g, b);
+  if (ra.matching.size() != rb.matching.size() ||
+      ra.stats.messages != rb.stats.messages ||
+      ra.stats.total_bits != rb.stats.total_bits ||
+      ra.stats.rounds != rb.stats.rounds) {
+    std::fprintf(stderr, "smoke: active-set != step_all on israeli_itai\n");
+    return 1;
+  }
+  // Double-send on one channel must still throw.
+  const Graph p = path_graph(2);
+  EngineNet net(p, 1, {});
+  bool threw = false;
+  try {
+    net.run_round([&](EngineNet::Ctx& ctx) {
+      if (ctx.id() == 0) {
+        ctx.send(0, EngineMsg{1});
+        ctx.send(0, EngineMsg{2});
+      }
+    });
+  } catch (const std::logic_error&) {
+    threw = true;
+  }
+  if (!threw) {
+    std::fprintf(stderr, "smoke: double-send did not throw\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace lps
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string engine_json;
+  bool engine_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--engine-json") == 0) {
+      engine_sweep = true;
+      engine_json = "BENCH_engine.json";
+    } else if (std::strncmp(argv[i], "--engine-json=", 14) == 0) {
+      engine_sweep = true;
+      engine_json = argv[i] + 14;
+    }
+  }
+  if (smoke) {
+    if (int rc = lps::run_smoke_checks(); rc != 0) return rc;
+    if (int rc = lps::run_engine_sweep("", /*smoke=*/true); rc != 0) return rc;
+    std::printf("bench_micro --smoke: OK\n");
+    return 0;
+  }
+  if (engine_sweep) {
+    return lps::run_engine_sweep(engine_json, /*smoke=*/false);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

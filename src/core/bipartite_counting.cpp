@@ -12,6 +12,18 @@ struct CountMessage {
   BigCounter count;
 };
 
+/// Bit meter: a real CONGEST implementation ships each count as
+/// ceil(bits / chunk) chunks of O(log Delta) bits; we meter the full
+/// serialized width so max_message_bits reflects Lemma 3.6's
+/// O(l log Delta) bound.
+struct CountBits {
+  std::uint64_t operator()(const CountMessage& msg) const {
+    return std::max<std::uint64_t>(msg.count.bit_size(), 1) + 2;
+  }
+};
+
+using CountNet = SyncNetwork<CountMessage, CountBits>;
+
 }  // namespace
 
 CountingResult count_augmenting_paths(const Graph& g,
@@ -36,18 +48,15 @@ CountingResult count_augmenting_paths(const Graph& g,
   out.total.assign(n, BigCounter{});
   out.endpoint.assign(n, 0);
 
-  // Bit meter: a real CONGEST implementation ships each count as
-  // ceil(bits / chunk) chunks of O(log Delta) bits; we meter the full
-  // serialized width so max_message_bits reflects Lemma 3.6's
-  // O(l log Delta) bound.
-  auto meter = [](const CountMessage& msg) {
-    return std::max<std::uint64_t>(msg.count.bit_size(), 1) + 2;
-  };
-
-  SyncNetwork<CountMessage> net(g, /*seed=*/0, meter);
+  CountNet net(g, /*seed=*/0, CountBits{});
   net.set_thread_pool(pool);
 
-  auto step = [&](SyncNetwork<CountMessage>::Ctx& ctx) {
+  // The BFS is message-driven: free X nodes launch in round 0 (everyone
+  // is stepped by the initial-activation default, non-sources return
+  // immediately) and afterwards only the frontier — nodes with arriving
+  // counts — is stepped, so a counting pass costs O(n + reached + sent)
+  // instead of O(n * l + m * l).
+  auto step = [&](CountNet::Ctx& ctx) {
     const NodeId v = ctx.id();
     const auto nbrs = ctx.graph().neighbors(v);
     const std::uint64_t round = ctx.round();

@@ -23,9 +23,14 @@ struct TokenMessage {
 
 /// The paper's token carries an O(l log Delta)-bit number plus a leader
 /// id; we meter the value at 64 bits and the id at ceil(log2 n).
-std::uint64_t token_bits_for(std::uint64_t id_bits, const TokenMessage& m) {
-  return m.type == TokType::kToken ? 64 + id_bits + 1 : id_bits + 1;
-}
+struct TokenBits {
+  std::uint64_t id_bits;
+  std::uint64_t operator()(const TokenMessage& m) const noexcept {
+    return m.type == TokType::kToken ? 64 + id_bits + 1 : id_bits + 1;
+  }
+};
+
+using TokenNet = SyncNetwork<TokenMessage, TokenBits>;
 
 /// Draw the Lemma 3.7 winner value for a leader with n paths: the max of
 /// n i.i.d. uniforms, represented order-faithfully in log-domain.
@@ -110,17 +115,20 @@ AugResult bipartite_aug(const Graph& g, const std::vector<std::uint8_t>& side,
     std::vector<char> flipped(n, 0);
     std::vector<EdgeId> new_match_edge(n, kInvalidEdge);
 
-    auto meter = [id_bits](const TokenMessage& msg) {
-      return token_bits_for(id_bits, msg);
-    };
-    SyncNetwork<TokenMessage> net(
-        g, splitmix64(opts.seed ^ (iter * 0x9e3779b97f4a7c15ULL)), meter);
+    TokenNet net(g, splitmix64(opts.seed ^ (iter * 0x9e3779b97f4a7c15ULL)),
+                 TokenBits{id_bits});
     net.set_thread_pool(opts.pool);
 
     const std::uint64_t token_rounds = static_cast<std::uint64_t>(l);
     const std::uint64_t traceback_start = token_rounds + 1;
 
-    auto step = [&](SyncNetwork<TokenMessage>::Ctx& ctx) {
+    // Active-set contract: depth-d nodes act spontaneously only at token
+    // round l - d, so the driver loop below activates each depth cohort
+    // at exactly that round; everything else is message-driven (tokens
+    // arrive at a node in its action round, confirms walk back up), and
+    // the depth-0 winners keep themselves alive across the one-round gap
+    // between receiving the token and launching the traceback.
+    auto step = [&](TokenNet::Ctx& ctx) {
       const NodeId v = ctx.id();
       const std::uint64_t round = ctx.round();
       const std::uint32_t d = counting.depth[v];
@@ -158,6 +166,7 @@ AugResult bipartite_aug(const Graph& g, const std::vector<std::uint8_t>& side,
           // Free X endpoint: the token wins; traceback starts next phase.
           tok[v].forwarded = true;  // marks "winning endpoint"
           tok[v].forwarded_leader = best_leader;
+          ctx.keep_active();  // flips + confirms at traceback_start
           return;
         }
         // Choose the backward edge: Y samples by counts, X follows its
@@ -207,9 +216,24 @@ AugResult bipartite_aug(const Graph& g, const std::vector<std::uint8_t>& side,
       }
     };
 
+    // Bucket reached nodes by action round l - depth for cohort
+    // activation (cost: one pass over reached nodes per iteration).
+    std::vector<std::vector<NodeId>> cohorts(token_rounds + 1);
+    for (NodeId v = 0; v < n; ++v) {
+      const std::uint32_t d = counting.depth[v];
+      if (d != kUnreached && d <= token_rounds) {
+        cohorts[token_rounds - d].push_back(v);
+      }
+    }
+    net.restrict_initial_active();
     // Token rounds 0..l, traceback rounds l+1..2l+1.
     const std::uint64_t total_rounds = traceback_start + token_rounds + 1;
-    for (std::uint64_t r = 0; r < total_rounds; ++r) net.run_round(step);
+    for (std::uint64_t r = 0; r < total_rounds; ++r) {
+      if (r < cohorts.size()) {
+        for (NodeId v : cohorts[r]) net.activate(v);
+      }
+      net.run_round(step);
+    }
     result.stats.merge(net.stats());
 
     // --- Apply the flips to the global matching. ---

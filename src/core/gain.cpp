@@ -13,15 +13,19 @@ std::vector<double> gain_weights(const WeightedGraph& wg, const Matching& m,
   std::vector<double> gains(g.num_edges(), 0.0);
 
   if (stats != nullptr) {
-    // One synchronous round: matched nodes announce w(v, M(v)).
+    // One synchronous round: matched nodes announce w(v, M(v)). Round 0
+    // steps everyone (the default initial activation); the delivery
+    // round is message-driven, so only receivers are stepped.
     struct WeightMsg {
       double w;
     };
-    SyncNetwork<WeightMsg> net(g, 0, [](const WeightMsg&) {
-      return std::uint64_t{64};
-    });
+    struct WeightBits {
+      std::uint64_t operator()(const WeightMsg&) const noexcept { return 64; }
+    };
+    using WeightNet = SyncNetwork<WeightMsg, WeightBits>;
+    WeightNet net(g, 0, WeightBits{});
     net.set_thread_pool(pool);
-    auto step = [&](SyncNetwork<WeightMsg>::Ctx& ctx) {
+    auto step = [&](WeightNet::Ctx& ctx) {
       const NodeId v = ctx.id();
       if (ctx.round() == 0 && !m.is_free(v)) {
         ctx.send_all(WeightMsg{wg.weight(m.matched_edge(v))});

@@ -12,6 +12,12 @@ struct HoepMsg {
   HoepType type;
 };
 
+struct HoepBits {
+  std::uint64_t operator()(const HoepMsg&) const noexcept { return 2; }
+};
+
+using HoepNet = SyncNetwork<HoepMsg, HoepBits>;
+
 }  // namespace
 
 HoepmanResult hoepman_mwm(const WeightedGraph& wg,
@@ -34,11 +40,14 @@ HoepmanResult hoepman_mwm(const WeightedGraph& wg,
     return a < b;
   };
 
-  SyncNetwork<HoepMsg> net(g, /*seed=*/0,
-                           [](const HoepMsg&) { return std::uint64_t{2}; });
+  HoepNet net(g, /*seed=*/0, HoepBits{});
   net.set_thread_pool(opts.pool);
 
-  auto step = [&](SyncNetwork<HoepMsg>::Ctx& ctx) {
+  // Active-set contract: a free node pointing at a live target re-issues
+  // its request every round, so it keeps itself alive; a node whose
+  // alive set is empty halts (its alive set can only shrink, via drops,
+  // which arrive as messages and wake it); matched nodes drop out.
+  auto step = [&](HoepNet::Ctx& ctx) {
     const NodeId v = ctx.id();
     const auto nbrs = ctx.graph().neighbors(v);
 
@@ -90,6 +99,7 @@ HoepmanResult hoepman_mwm(const WeightedGraph& wg,
     // symmetric: the round after both endpoints point at each other,
     // both see the partner's request.
     ctx.send(best, HoepMsg{HoepType::kRequest});
+    ctx.keep_active();
   };
 
   const std::uint64_t max_rounds =

@@ -15,7 +15,11 @@ struct IiMessage {
 };
 
 /// 2 bits of content; meter generously as one byte.
-std::uint64_t ii_bits(const IiMessage&) { return 8; }
+struct IiBits {
+  std::uint64_t operator()(const IiMessage&) const noexcept { return 8; }
+};
+
+using IiNet = SyncNetwork<IiMessage, IiBits>;
 
 }  // namespace
 
@@ -71,14 +75,23 @@ DistMatchingResult israeli_itai(const Graph& g,
   // node had any candidate can never make progress again).
   std::vector<char> had_candidates(n, 0);
 
-  SyncNetwork<IiMessage> net(g, opts.seed, ii_bits);
+  IiNet net(g, opts.seed, IiBits{});
   net.set_thread_pool(opts.pool);
+  net.step_all_nodes(opts.step_all_nodes);
 
   const std::uint64_t max_phases = opts.max_phases != 0
                                        ? opts.max_phases
                                        : israeli_itai_default_max_phases(n);
 
-  auto step = [&](SyncNetwork<IiMessage>::Ctx& ctx) {
+  // Active-set contract: every free node keeps itself alive from stage
+  // to stage (at stage 0 only while it still sees a live candidate — a
+  // node whose neighbors all announced kMatched can never propose or be
+  // proposed to again, the same freeze the lca oracle exploits).
+  // Matched nodes drop out and are only woken by announcements, which
+  // arrive as ordinary messages. This reproduces the step-everything
+  // execution bit for bit: a node skipped here would neither send nor
+  // mutate observable state if stepped.
+  auto step = [&](IiNet::Ctx& ctx) {
     const NodeId v = ctx.id();
     const auto nbrs = ctx.graph().neighbors(v);
     const int stage = static_cast<int>(ctx.round() % 3);
@@ -109,6 +122,7 @@ DistMatchingResult israeli_itai(const Graph& g,
         }
       }
       had_candidates[v] = candidates > 0 ? 1 : 0;
+      if (candidates > 0) ctx.keep_active();
       if (!coin[v] || candidates == 0) return;
       std::uint32_t pick = static_cast<std::uint32_t>(ctx.rng().below(candidates));
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
@@ -122,6 +136,7 @@ DistMatchingResult israeli_itai(const Graph& g,
         }
       }
     } else if (stage == 1) {  // accept
+      if (free) ctx.keep_active();
       if (!free || coin[v]) return;
       std::vector<EdgeId> proposals;
       for (const auto& in : ctx.inbox()) {
@@ -137,6 +152,7 @@ DistMatchingResult israeli_itai(const Graph& g,
         if (inc.edge != chosen) ctx.send(inc.edge, IiMessage{IiType::kMatched});
       }
     } else {  // stage 2: proposers learn their fate
+      if (free) ctx.keep_active();
       if (!free || !coin[v] || proposal_edge[v] == kInvalidEdge) return;
       for (const auto& in : ctx.inbox()) {
         if (in.payload->type == IiType::kAccept &&

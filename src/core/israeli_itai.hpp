@@ -36,6 +36,10 @@ struct IsraeliItaiOptions {
   /// count as already matched).
   std::optional<Matching> initial;
   ThreadPool* pool = nullptr;
+  /// Step every node every round instead of the active set (same
+  /// execution bit for bit; costs O(n) per round instead of O(free
+  /// nodes + traffic)). Exposed for the equivalence test.
+  bool step_all_nodes = false;
 };
 
 struct DistMatchingResult {

@@ -12,18 +12,24 @@ struct GossipMessage {
   std::vector<LabeledEdge> edges;
 };
 
+/// Bits per edge description: two node ids of ceil(log2 n) bits plus
+/// the matched flag (the serialization a real implementation would use).
+struct GossipBits {
+  std::uint64_t id_bits;
+  std::uint64_t operator()(const GossipMessage& msg) const {
+    return static_cast<std::uint64_t>(msg.edges.size()) * (2 * id_bits + 1);
+  }
+};
+
+using GossipNet = SyncNetwork<GossipMessage, GossipBits>;
+
 }  // namespace
 
 BallViews collect_balls(const Graph& g, const Matching& m, int radius,
                         ThreadPool* pool) {
   const NodeId n = g.num_nodes();
-  // Bits per edge description: two node ids of ceil(log2 n) bits plus
-  // the matched flag (the serialization a real implementation would use).
   std::uint64_t id_bits = 1;
   while ((std::uint64_t{1} << id_bits) < n) ++id_bits;
-  auto meter = [id_bits](const GossipMessage& msg) {
-    return static_cast<std::uint64_t>(msg.edges.size()) * (2 * id_bits + 1);
-  };
 
   BallViews out;
   out.view.assign(n, {});
@@ -45,10 +51,13 @@ BallViews collect_balls(const Graph& g, const Matching& m, int radius,
     }
   }
 
-  SyncNetwork<GossipMessage> net(g, /*seed=*/0, meter);
+  GossipNet net(g, /*seed=*/0, GossipBits{id_bits});
   net.set_thread_pool(pool);
 
-  auto step = [&](SyncNetwork<GossipMessage>::Ctx& ctx) {
+  // Purely message-driven after the round-0 seed flood (a node with no
+  // arrivals has nothing fresh to forward), so the active-set default —
+  // everyone in round 0, receivers afterwards — needs no keep_active.
+  auto step = [&](GossipNet::Ctx& ctx) {
     const NodeId v = ctx.id();
     // Absorb what neighbors forwarded last round.
     std::vector<LabeledEdge> fresh;

@@ -18,9 +18,13 @@ struct MisMessage {
 /// Type bit + 64-bit value (the paper draws from [1, N^4], i.e.
 /// O(log N) bits; 64 bits covers N up to 2^16 exactly and we treat the
 /// value as the O(log N)-bit payload).
-std::uint64_t mis_bits(const MisMessage& m) {
-  return m.type == MisType::kValue ? 65 : 1;
-}
+struct MisBits {
+  std::uint64_t operator()(const MisMessage& m) const noexcept {
+    return m.type == MisType::kValue ? 65 : 1;
+  }
+};
+
+using MisNet = SyncNetwork<MisMessage, MisBits>;
 
 enum class NodeState : std::uint8_t { kLive, kIn, kOut };
 
@@ -31,7 +35,7 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
   std::vector<NodeState> state(n, NodeState::kLive);
   std::vector<std::uint64_t> my_value(n, 0);
 
-  SyncNetwork<MisMessage> net(g, opts.seed, mis_bits);
+  MisNet net(g, opts.seed, MisBits{});
   net.set_thread_pool(opts.pool);
 
   const std::uint64_t max_phases =
@@ -40,7 +44,9 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
           : 40 + 12 * static_cast<std::uint64_t>(
                           std::ceil(std::log2(static_cast<double>(n) + 1.0)));
 
-  auto step = [&](SyncNetwork<MisMessage>::Ctx& ctx) {
+  // Active-set contract: live nodes keep themselves alive every stage;
+  // kIn/kOut nodes drop out and are only woken by kSelected arrivals.
+  auto step = [&](MisNet::Ctx& ctx) {
     const NodeId v = ctx.id();
     const int stage = static_cast<int>(ctx.round() % 2);
     if (stage == 0) {
@@ -52,10 +58,12 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
         }
       }
       if (state[v] != NodeState::kLive) return;
+      ctx.keep_active();
       my_value[v] = ctx.rng()();
       ctx.send_all(MisMessage{MisType::kValue, my_value[v]});
     } else {
       if (state[v] != NodeState::kLive) return;
+      ctx.keep_active();
       bool win = true;
       for (const auto& in : ctx.inbox()) {
         if (in.payload->type != MisType::kValue) continue;
@@ -102,9 +110,13 @@ struct AbiMessage {
   std::uint32_t degree;  // kMark only
 };
 
-std::uint64_t abi_bits(const AbiMessage& m) {
-  return m.type == AbiType::kMark ? 34 : 2;
-}
+struct AbiBits {
+  std::uint64_t operator()(const AbiMessage& m) const noexcept {
+    return m.type == AbiType::kMark ? 34 : 2;
+  }
+};
+
+using AbiNet = SyncNetwork<AbiMessage, AbiBits>;
 
 }  // namespace
 
@@ -115,7 +127,7 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
   std::vector<std::uint32_t> live_degree(n);
   for (NodeId v = 0; v < n; ++v) live_degree[v] = g.degree(v);
 
-  SyncNetwork<AbiMessage> net(g, opts.seed, abi_bits);
+  AbiNet net(g, opts.seed, AbiBits{});
   net.set_thread_pool(opts.pool);
 
   const std::uint64_t max_phases =
@@ -124,7 +136,12 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
           : 60 + 16 * static_cast<std::uint64_t>(
                           std::ceil(std::log2(static_cast<double>(n) + 1.0)));
 
-  auto step = [&](SyncNetwork<AbiMessage>::Ctx& ctx) {
+  // Active-set contract: live nodes keep themselves alive every stage
+  // (even unmarked ones — they must reach the next stage 0 to redraw);
+  // kIn/kOut nodes drop out and are only woken by kSelected/kDead
+  // arrivals, under which their step mutates exactly what the inbox
+  // dictates, same as when every node is stepped.
+  auto step = [&](AbiNet::Ctx& ctx) {
     const NodeId v = ctx.id();
     const int stage = static_cast<int>(ctx.round() % 3);
     if (stage == 0) {
@@ -135,6 +152,7 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
         }
       }
       if (state[v] != NodeState::kLive) return;
+      ctx.keep_active();
       const double p =
           live_degree[v] == 0 ? 1.0
                               : 1.0 / (2.0 * static_cast<double>(live_degree[v]));
@@ -143,6 +161,7 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
         ctx.send_all(AbiMessage{AbiType::kMark, live_degree[v]});
       }
     } else if (stage == 1) {
+      if (state[v] == NodeState::kLive) ctx.keep_active();
       if (state[v] != NodeState::kLive || !marked[v]) return;
       // Unmark if a marked neighbor beats us by (degree, id).
       bool win = true;
@@ -161,6 +180,7 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
       }
     } else {  // stage 2: eliminations + death notices
       if (state[v] != NodeState::kLive) return;
+      ctx.keep_active();
       for (const auto& in : ctx.inbox()) {
         if (in.payload->type == AbiType::kSelected) {
           state[v] = NodeState::kOut;

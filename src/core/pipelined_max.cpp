@@ -13,6 +13,13 @@ struct ChunkMsg {
   std::uint32_t chunk;
 };
 
+struct ChunkBits {
+  std::uint64_t bits;
+  std::uint64_t operator()(const ChunkMsg&) const noexcept { return bits; }
+};
+
+using ChunkNet = SyncNetwork<ChunkMsg, ChunkBits>;
+
 }  // namespace
 
 PipelinedMaxResult pipelined_max(
@@ -92,17 +99,22 @@ PipelinedMaxResult pipelined_max(
     child_qualified[v].assign(g.degree(v), 1);
   }
 
-  SyncNetwork<ChunkMsg> net(g, 0, [chunk_bits](const ChunkMsg&) {
-    return static_cast<std::uint64_t>(chunk_bits);
-  });
+  ChunkNet net(g, 0, ChunkBits{static_cast<std::uint64_t>(chunk_bits)});
   net.set_thread_pool(pool);
 
   // Node at depth d emits chunk i at round (tree_depth - d) + i.
-  auto step = [&](SyncNetwork<ChunkMsg>::Ctx& ctx) {
+  //
+  // Active-set contract: a node's first emission round is known up
+  // front, so the caller activates each depth cohort at its window
+  // start (restricting the round-0 default) and keep_active carries the
+  // node through the rest of its j-chunk window; per-round cost tracks
+  // the advancing wavefront instead of the whole tree.
+  auto step = [&](ChunkNet::Ctx& ctx) {
     const NodeId v = ctx.id();
     const std::uint64_t round = ctx.round();
     const std::uint64_t start = tree_depth - depth[v];
     if (round < start || round >= start + j) return;
+    if (round + 1 < start + j) ctx.keep_active();
     const std::size_t i = static_cast<std::size_t>(round - start);
 
     // Merge this position: own chunk (if still qualified) vs child
@@ -141,8 +153,19 @@ PipelinedMaxResult pipelined_max(
     }
   };
 
+  // Bucket nodes by window start = tree_depth - depth (deepest first).
+  std::vector<std::vector<NodeId>> starts(tree_depth + 1);
+  for (NodeId v = 0; v < n; ++v) {
+    starts[tree_depth - depth[v]].push_back(v);
+  }
+  net.restrict_initial_active();
   const std::uint64_t total_rounds = tree_depth + j + 1;
-  for (std::uint64_t r = 0; r < total_rounds; ++r) net.run_round(step);
+  for (std::uint64_t r = 0; r < total_rounds; ++r) {
+    if (r < starts.size()) {
+      for (NodeId v : starts[r]) net.activate(v);
+    }
+    net.run_round(step);
+  }
   result.stats = net.stats();
   result.maximum = BigCounter::from_chunks(emitted[root], chunk_bits);
   return result;

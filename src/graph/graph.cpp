@@ -40,6 +40,20 @@ Graph::Graph(NodeId n, std::vector<Edge> edges)
     adj_[cursor[e.u]++] = {e.v, id};
     adj_[cursor[e.v]++] = {e.u, id};
   }
+  // Establish the sorted-incidence invariant (see Incidence in the
+  // header): neighbors ascending within each vertex's list. Lex-sorted
+  // edge input already satisfies it, so this is usually a no-op pass.
+  for (NodeId v = 0; v < n_; ++v) {
+    auto* begin = adj_.data() + offsets_[v];
+    auto* end = adj_.data() + offsets_[v + 1];
+    if (!std::is_sorted(begin, end, [](const Incidence& a, const Incidence& b) {
+          return a.to < b.to;
+        })) {
+      std::sort(begin, end, [](const Incidence& a, const Incidence& b) {
+        return a.to < b.to;
+      });
+    }
+  }
   for (NodeId v = 0; v < n_; ++v) {
     max_degree_ = std::max(max_degree_, degree(v));
   }
@@ -47,9 +61,11 @@ Graph::Graph(NodeId n, std::vector<Edge> edges)
 
 EdgeId Graph::find_edge(NodeId u, NodeId v) const {
   if (degree(u) > degree(v)) std::swap(u, v);
-  for (const Incidence& inc : neighbors(u)) {
-    if (inc.to == v) return inc.edge;
-  }
+  const auto nbrs = neighbors(u);
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Incidence& inc, NodeId target) { return inc.to < target; });
+  if (it != nbrs.end() && it->to == v) return it->edge;
   return kInvalidEdge;
 }
 

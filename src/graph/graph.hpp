@@ -31,6 +31,12 @@ struct Edge {
 class Graph {
  public:
   /// Entry in a vertex's incidence list.
+  ///
+  /// Invariant: each vertex's incidence list is sorted by neighbor id
+  /// (ascending), regardless of the order edges were supplied in. Code
+  /// may rely on this for binary search (find_edge) and for canonical
+  /// per-neighbor iteration order; slot indices into neighbors(v) are
+  /// stable for the lifetime of the Graph.
   struct Incidence {
     NodeId to;
     EdgeId edge;
@@ -67,7 +73,8 @@ class Graph {
 
   NodeId max_degree() const noexcept { return max_degree_; }
 
-  /// Edge id connecting u and v, or kInvalidEdge. O(min degree).
+  /// Edge id connecting u and v, or kInvalidEdge. Binary search over the
+  /// smaller endpoint's sorted incidence list: O(log min degree).
   EdgeId find_edge(NodeId u, NodeId v) const;
 
   /// Two-coloring if the graph is bipartite: side[v] in {0,1}; isolated

@@ -99,9 +99,13 @@ IsraeliItaiOracle::Stage1 IsraeliItaiOracle::stage1(NodeId v,
   Stage1 s;
   const Stage0 mine = stage0(v, p);
   if (mine.acted && !mine.coin) {
-    // Inbox order at stage 1 is v's incidence order (SyncNetwork builds
-    // inboxes by scanning g.neighbors(v)), so the accept draw indexes
-    // proposals in exactly that order.
+    // Inbox order at stage 1 is v's incidence order: SyncNetwork's
+    // mailbox sorts each receiver's deliveries by their position in
+    // neighbors(v) (the engine's canonical-inbox-order guarantee, see
+    // DESIGN.md §9), so the accept draw indexes proposals in exactly
+    // that order. The global protocol's active-set scheduling never
+    // changes the draw either: a node skipped by the scheduler would
+    // neither propose nor accept if stepped.
     std::vector<EdgeId> proposals;
     for (const Graph::Incidence& inc : access_.neighbors(v)) {
       const Stage0 theirs = stage0(inc.to, p);

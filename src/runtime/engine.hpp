@@ -18,16 +18,50 @@
 //    function of the seed, independent of node iteration order — which
 //    also makes thread-pool execution bit-identical to sequential.
 //
+// Cost model of the implementation (not of the simulated protocols): a
+// round costs O(stepped nodes + messages in flight), NOT O(n + m). Three
+// mechanisms make that true (DESIGN.md §9):
+//
+//  * Epoch-stamped channels. Each directed channel (edge, direction) has
+//    a round-stamp instead of a std::optional slot; "two sends on one
+//    channel in one round" is a stamp comparison and there is no
+//    O(m) per-round reset sweep. Payloads ride in per-worker send lists
+//    sized by actual traffic.
+//  * Mailbox delivery. Send lists are counting-sorted by receiver into
+//    contiguous per-receiver inbox ranges, then each range is put into
+//    the receiver's incidence order (the same order the old full
+//    neighbors() scan produced, which protocols and the lca re-executor
+//    rely on for RNG-draw determinism). Inbox construction touches only
+//    real messages, never the whole graph.
+//  * Active-set scheduling. A node is stepped in a round iff it has
+//    incoming messages, called ctx.keep_active() in the previous round,
+//    or was activated for the round (activate(); the first round
+//    defaults to every node unless restrict_initial_active() was
+//    called). Protocols whose spontaneous sends cannot be expressed this
+//    way opt out with step_all_nodes(), restoring the exact old
+//    every-node-every-round semantics. Because nodes draw from
+//    per-(node, round) substreams and an unstepped node would neither
+//    send nor mutate state, an execution under active-set scheduling is
+//    bit-identical to a step_all_nodes() execution whenever the protocol
+//    keeps alive every node that might act without an incoming message.
+//
 // A node program is any callable `void step(Ctx& ctx)`; persistent node
 // state lives in arrays owned by the algorithm object (indexed by node
 // id). During a parallel round a node may only touch its own state and
 // its own outgoing channels; all algorithms in src/core follow this.
+//
+// M must be default-constructible and movable. The bit meter is a
+// template parameter so protocol meters (usually a constant or a small
+// struct) are statically dispatched; the default falls back to
+// std::function for ad-hoc lambdas.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
-#include <optional>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -38,10 +72,20 @@
 
 namespace lps {
 
+/// Fallback meter when none is supplied: every message costs its wire
+/// width, sizeof(M) * 8 bits.
 template <typename M>
+struct DefaultBitMeter {
+  std::uint64_t operator()(const M&) const noexcept {
+    return std::uint64_t{sizeof(M) * 8};
+  }
+};
+
+template <typename M, typename Meter = std::function<std::uint64_t(const M&)>>
 class SyncNetwork {
  public:
-  /// A delivered message: sender, the edge it traveled on, payload.
+  /// A delivered message: sender, the edge it traveled on, payload. The
+  /// payload pointer is valid for the round the message is delivered in.
   struct Incoming {
     NodeId from;
     EdgeId edge;
@@ -50,6 +94,10 @@ class SyncNetwork {
 
   using BitMeter = std::function<std::uint64_t(const M&)>;
 
+ private:
+  struct PerWorker;  // defined below; Ctx holds a pointer to its worker
+
+ public:
   /// Per-node, per-round execution context.
   class Ctx {
    public:
@@ -61,7 +109,7 @@ class SyncNetwork {
 
     /// Send along edge e to the other endpoint (delivered next round).
     void send(EdgeId e, M msg) {
-      net_->enqueue(id_, e, std::move(msg), *stats_);
+      net_->enqueue(id_, e, std::move(msg), *worker_);
     }
 
     /// Send a copy of msg to every neighbor.
@@ -71,25 +119,64 @@ class SyncNetwork {
       }
     }
 
+    /// Stay in the next round's active set even without incoming
+    /// messages. Call it whenever this node might act spontaneously next
+    /// round; a no-op under step_all_nodes().
+    void keep_active() {
+      if (!net_->step_all_) worker_->wake.push_back(id_);
+    }
+
    private:
     friend class SyncNetwork;
     SyncNetwork* net_ = nullptr;
     NodeId id_ = kInvalidNode;
     Rng rng_{0};
     std::span<const Incoming> inbox_;
-    NetStats* stats_ = nullptr;
+    PerWorker* worker_ = nullptr;
   };
 
-  SyncNetwork(const Graph& g, std::uint64_t seed, BitMeter meter = {})
+  SyncNetwork(const Graph& g, std::uint64_t seed, Meter meter = Meter{})
       : graph_(&g),
         seed_(seed),
-        meter_(meter ? std::move(meter)
-                     : [](const M&) { return std::uint64_t{sizeof(M) * 8}; }),
-        current_(2 * static_cast<std::size_t>(g.num_edges())),
-        next_(2 * static_cast<std::size_t>(g.num_edges())) {}
+        meter_(std::move(meter)),
+        slot_stamp_(2 * static_cast<std::size_t>(g.num_edges()), kNever),
+        rcv_slot_(2 * static_cast<std::size_t>(g.num_edges())),
+        inbox_stamp_(g.num_nodes(), kNever),
+        inbox_off_(g.num_nodes()),
+        inbox_cur_(g.num_nodes()),
+        inbox_cnt_(g.num_nodes()),
+        active_stamp_(g.num_nodes(), kNever) {
+    if constexpr (std::is_same_v<Meter, BitMeter>) {
+      if (!meter_) meter_ = DefaultBitMeter<M>{};
+    }
+    // The channel on which neighbors(v)[i].to sends to v delivers into
+    // position i of v's inbox; precompute that position per directed
+    // channel so per-receiver mailbox ranges can be put into incidence
+    // order without scanning adjacency.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        rcv_slot_[slot_of(nbrs[i].edge, nbrs[i].to)] =
+            static_cast<std::uint32_t>(i);
+      }
+    }
+  }
 
   /// Optional: step nodes with a thread pool (nullptr = sequential).
   void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
+  /// Opt out of active-set scheduling: step every node every round, the
+  /// exact semantics of the original engine. For protocols whose
+  /// spontaneous sends cannot be expressed with keep_active()/activate().
+  void step_all_nodes(bool on = true) noexcept { step_all_ = on; }
+
+  /// Queue v for the next run_round's active set (on top of message
+  /// receivers and keep_active callers). Callable between rounds only.
+  void activate(NodeId v) { pending_activations_.push_back(v); }
+
+  /// Drop the first round's every-node default: round 0 then steps only
+  /// activate()d nodes (plus receivers — vacuous in round 0).
+  void restrict_initial_active() noexcept { initial_restricted_ = true; }
 
   const NetStats& stats() const noexcept { return stats_; }
   std::uint64_t round() const noexcept { return round_; }
@@ -99,50 +186,72 @@ class SyncNetwork {
     return delivered_last_round_;
   }
 
+  /// Nodes stepped in the most recent round (== n when stepping all).
+  std::uint64_t last_round_stepped() const noexcept {
+    return stepped_last_round_;
+  }
+
   /// Execute one synchronous round: deliver everything sent last round,
-  /// call step(ctx) on every node, collect sends for the next round.
+  /// step the round's active set (or every node), collect sends for the
+  /// next round.
   template <typename Step>
   void run_round(Step&& step) {
-    ++stats_.rounds;
-    std::swap(current_, next_);
-    for (auto& slot : next_) slot.reset();
-    delivered_last_round_ = pending_;
-    pending_ = 0;
-
     const Graph& g = *graph_;
-    auto process_range = [&](std::size_t begin, std::size_t end) {
-      std::vector<Incoming> inbox;
-      NetStats local;
-      for (std::size_t v = begin; v < end; ++v) {
-        const NodeId node = static_cast<NodeId>(v);
-        inbox.clear();
-        for (const Graph::Incidence& inc : g.neighbors(node)) {
-          const auto& slot = current_[slot_index(inc.edge, inc.to)];
-          if (slot.has_value()) {
-            inbox.push_back({inc.to, inc.edge, &*slot});
-          }
-        }
+    ensure_workers();
+    ++stats_.rounds;
+
+    build_inboxes();
+    delivered_last_round_ = deliveries_.size();
+
+    const bool all = step_all_ || (round_ == 0 && !initial_restricted_);
+    if (all) {
+      for (PerWorker& w : workers_) w.wake.clear();
+      pending_activations_.clear();
+    } else {
+      active_.clear();
+      for (NodeId v : receivers_) mark_active(v);
+      for (PerWorker& w : workers_) {
+        for (NodeId v : w.wake) mark_active(v);
+        w.wake.clear();
+      }
+      for (NodeId v : pending_activations_) mark_active(v);
+      pending_activations_.clear();
+    }
+    const std::size_t count = all ? g.num_nodes() : active_.size();
+    stepped_last_round_ = count;
+
+    auto process = [&](unsigned worker, std::size_t begin, std::size_t end) {
+      PerWorker& pw = workers_[worker];
+      for (std::size_t i = begin; i < end; ++i) {
+        const NodeId node = all ? static_cast<NodeId>(i) : active_[i];
         Ctx ctx;
         ctx.net_ = this;
         ctx.id_ = node;
         ctx.rng_ = Rng::substream(seed_, std::uint64_t{node}, round_);
-        ctx.inbox_ = std::span<const Incoming>(inbox.data(), inbox.size());
-        ctx.stats_ = &local;
+        ctx.inbox_ = inbox_of(node);
+        ctx.worker_ = &pw;
         step(ctx);
       }
-      merge_worker_stats(local);
     };
-
     if (pool_ != nullptr && pool_->num_threads() > 1) {
-      pool_->parallel_for(0, g.num_nodes(), 256, process_range);
+      pool_->parallel_for_workers(0, count, 256, process);
     } else {
-      process_range(0, g.num_nodes());
+      process(0, 0, count);
     }
-    stats_.messages += round_messages_;
-    stats_.total_bits += round_bits_;
-    pending_ = round_messages_;
-    round_messages_ = 0;
-    round_bits_ = 0;
+
+    // One stat merge per round (per-worker slots; no mutex anywhere).
+    std::uint64_t sent = 0;
+    std::uint64_t bits = 0;
+    for (PerWorker& w : workers_) {
+      sent += w.stats.messages;
+      bits += w.stats.total_bits;
+      stats_.max_message_bits =
+          std::max(stats_.max_message_bits, w.stats.max_message_bits);
+      w.stats = NetStats{};
+    }
+    stats_.messages += sent;
+    stats_.total_bits += bits;
+    pending_ = sent;
     ++round_;
   }
 
@@ -165,55 +274,175 @@ class SyncNetwork {
   }
 
  private:
-  std::size_t slot_index(EdgeId e, NodeId sender) const {
+  static constexpr std::uint64_t kNever = static_cast<std::uint64_t>(-1);
+
+  /// A payload in flight, tagged with the directed channel it was sent
+  /// on. Lives in the sender's worker list until delivery.
+  struct SendRec {
+    std::uint32_t slot;
+    M msg;
+  };
+
+  /// A delivered message being staged into a receiver's mailbox range;
+  /// `key` is the position of the arrival edge in the receiver's
+  /// incidence list (the canonical inbox sort key).
+  struct Delivery {
+    std::uint32_t key;
+    NodeId from;
+    EdgeId edge;
+    M payload;
+  };
+
+  /// Per-worker accumulators, cache-line separated. Only the worker that
+  /// owns the struct touches it during a round.
+  struct alignas(64) PerWorker {
+    std::vector<SendRec> sends;
+    std::vector<NodeId> wake;
+    NetStats stats;
+  };
+
+  /// Directed channel index: 2e + 1 when `sender` is edge(e).v, 2e when
+  /// it is edge(e).u.
+  std::size_t slot_of(EdgeId e, NodeId sender) const {
     return 2 * static_cast<std::size_t>(e) +
            (graph_->edge(e).v == sender ? 1 : 0);
   }
 
-  void enqueue(NodeId from, EdgeId e, M msg, NetStats& local) {
+  void enqueue(NodeId from, EdgeId e, M msg, PerWorker& w) {
     const Edge& ed = graph_->edge(e);
     if (ed.u != from && ed.v != from) {
       throw std::logic_error("SyncNetwork::send: sender not an endpoint");
     }
-    auto& slot = next_[slot_index(e, from)];
-    if (slot.has_value()) {
+    const std::size_t slot = slot_of(e, from);
+    if (slot_stamp_[slot] == round_) {
       throw std::logic_error(
           "SyncNetwork::send: two messages on one channel in one round");
     }
-    local.note_message(meter_(msg));
-    slot.emplace(std::move(msg));
+    slot_stamp_[slot] = round_;
+    w.stats.note_message(meter_(msg));
+    w.sends.push_back(SendRec{static_cast<std::uint32_t>(slot),
+                              std::move(msg)});
   }
 
-  void merge_worker_stats(const NetStats& local) {
-    // Called once per worker chunk batch; guarded when parallel.
-    if (pool_ != nullptr && pool_->num_threads() > 1) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      round_messages_ += local.messages;
-      round_bits_ += local.total_bits;
-      stats_.max_message_bits =
-          std::max(stats_.max_message_bits, local.max_message_bits);
-    } else {
-      round_messages_ += local.messages;
-      round_bits_ += local.total_bits;
-      stats_.max_message_bits =
-          std::max(stats_.max_message_bits, local.max_message_bits);
+  void ensure_workers() {
+    const std::size_t want =
+        (pool_ != nullptr && pool_->num_threads() > 1) ? pool_->num_threads()
+                                                       : 1;
+    if (workers_.size() < want) workers_.resize(want);
+  }
+
+  void mark_active(NodeId v) {
+    if (active_stamp_[v] != round_) {
+      active_stamp_[v] = round_;
+      active_.push_back(v);
     }
+  }
+
+  /// Merge last round's per-worker send lists into contiguous
+  /// per-receiver inbox ranges: count per receiver, prefix offsets over
+  /// the receivers actually hit, scatter payloads, then order each range
+  /// by the receiver's incidence position. O(messages + receivers).
+  void build_inboxes() {
+    receivers_.clear();
+    std::size_t total = 0;
+    for (const PerWorker& w : workers_) total += w.sends.size();
+    deliveries_.clear();
+    inbox_entries_.clear();
+    if (total == 0) return;
+
+    const std::uint64_t tag = round_;
+    for (const PerWorker& w : workers_) {
+      for (const SendRec& rec : w.sends) {
+        const NodeId to = receiver_of(rec.slot);
+        if (inbox_stamp_[to] != tag) {
+          inbox_stamp_[to] = tag;
+          inbox_cnt_[to] = 0;
+          receivers_.push_back(to);
+        }
+        ++inbox_cnt_[to];
+      }
+    }
+    std::size_t off = 0;
+    for (NodeId r : receivers_) {
+      inbox_off_[r] = off;
+      inbox_cur_[r] = off;
+      off += inbox_cnt_[r];
+    }
+    deliveries_.resize(total);
+    for (PerWorker& w : workers_) {
+      for (SendRec& rec : w.sends) {
+        const EdgeId e = static_cast<EdgeId>(rec.slot >> 1);
+        const Edge& ed = graph_->edge(e);
+        const NodeId from = (rec.slot & 1) ? ed.v : ed.u;
+        const NodeId to = (rec.slot & 1) ? ed.u : ed.v;
+        Delivery& d = deliveries_[inbox_cur_[to]++];
+        d.key = rcv_slot_[rec.slot];
+        d.from = from;
+        d.edge = e;
+        d.payload = std::move(rec.msg);
+      }
+      w.sends.clear();
+    }
+    for (NodeId r : receivers_) {
+      const auto begin = deliveries_.begin() + inbox_off_[r];
+      std::sort(begin, begin + inbox_cnt_[r],
+                [](const Delivery& a, const Delivery& b) {
+                  return a.key < b.key;
+                });
+    }
+    inbox_entries_.resize(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      inbox_entries_[i] =
+          Incoming{deliveries_[i].from, deliveries_[i].edge,
+                   &deliveries_[i].payload};
+    }
+  }
+
+  NodeId receiver_of(std::uint32_t slot) const {
+    const Edge& ed = graph_->edge(static_cast<EdgeId>(slot >> 1));
+    return (slot & 1) ? ed.u : ed.v;
+  }
+
+  std::span<const Incoming> inbox_of(NodeId v) const {
+    if (inbox_entries_.empty() || inbox_stamp_[v] != round_) return {};
+    return {inbox_entries_.data() + inbox_off_[v], inbox_cnt_[v]};
   }
 
   const Graph* graph_;
   std::uint64_t seed_;
-  BitMeter meter_;
+  Meter meter_;
   ThreadPool* pool_ = nullptr;
 
-  std::vector<std::optional<M>> current_;  // delivered this round
-  std::vector<std::optional<M>> next_;     // sent this round
+  // Epoch-stamped directed channels (double-send detection) and the
+  // precomputed receiver-side incidence position per channel.
+  std::vector<std::uint64_t> slot_stamp_;  // 2m; == round of last send
+  std::vector<std::uint32_t> rcv_slot_;    // 2m
+
+  // This round's mailbox: staged deliveries grouped by receiver, plus
+  // the per-receiver range bookkeeping (all stamped by round, so none of
+  // it is ever swept).
+  std::vector<Delivery> deliveries_;
+  std::vector<Incoming> inbox_entries_;
+  std::vector<NodeId> receivers_;
+  std::vector<std::uint64_t> inbox_stamp_;  // n
+  std::vector<std::size_t> inbox_off_;      // n
+  std::vector<std::size_t> inbox_cur_;      // n
+  std::vector<std::uint32_t> inbox_cnt_;    // n
+
+  // Active-set scheduling state.
+  std::vector<NodeId> active_;
+  std::vector<std::uint64_t> active_stamp_;  // n
+  std::vector<NodeId> pending_activations_;
+  bool step_all_ = false;
+  bool initial_restricted_ = false;
+
+  std::vector<PerWorker> workers_;
+
   std::uint64_t round_ = 0;
   std::uint64_t pending_ = 0;  // messages awaiting delivery next round
   std::uint64_t delivered_last_round_ = 0;
-  std::uint64_t round_messages_ = 0;
-  std::uint64_t round_bits_ = 0;
+  std::uint64_t stepped_last_round_ = 0;
   NetStats stats_;
-  std::mutex stats_mutex_;
 };
 
 }  // namespace lps

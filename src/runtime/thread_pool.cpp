@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
   num_threads_ = threads;
   for (unsigned i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -23,10 +23,11 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker) {
   std::uint64_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+    const std::function<void(unsigned, std::size_t, std::size_t)>* job =
+        nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
@@ -41,7 +42,7 @@ void ThreadPool::worker_loop() {
       const std::size_t start =
           next_.fetch_add(job_grain_, std::memory_order_relaxed);
       if (start >= job_end_) break;
-      (*job)(start, std::min(start + job_grain_, job_end_));
+      (*job)(worker, start, std::min(start + job_grain_, job_end_));
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -50,13 +51,13 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(
+void ThreadPool::parallel_for_workers(
     std::size_t begin, std::size_t end, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(unsigned, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   grain = std::max<std::size_t>(1, grain);
   if (workers_.empty() || end - begin <= grain) {
-    fn(begin, end);
+    fn(0, begin, end);
     return;
   }
   {
@@ -68,15 +69,24 @@ void ThreadPool::parallel_for(
     ++generation_;
   }
   work_cv_.notify_all();
-  // The calling thread participates in the same chunk queue.
+  // The calling thread participates in the same chunk queue as worker 0.
   for (;;) {
     const std::size_t start = next_.fetch_add(grain, std::memory_order_relaxed);
     if (start >= end) break;
-    fn(start, std::min(start + grain, end));
+    fn(0, start, std::min(start + grain, end));
   }
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return active_ == 0; });
   job_ = nullptr;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_workers(begin, end, grain,
+                       [&fn](unsigned, std::size_t b, std::size_t e) {
+                         fn(b, e);
+                       });
 }
 
 }  // namespace lps

@@ -3,6 +3,10 @@
 // are bit-identical to sequential execution because nodes only write
 // their own state and their own outgoing channel slots, and every node's
 // randomness comes from a (seed, node, round) substream.
+//
+// Workers have stable indices (the calling thread is always worker 0,
+// pool threads are 1..num_threads-1) so callers can keep contention-free
+// per-worker accumulators instead of locking a shared one per chunk.
 #pragma once
 
 #include <atomic>
@@ -34,8 +38,16 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Like parallel_for, but fn additionally receives the stable index of
+  /// the worker executing the chunk (0 = calling thread, 1..T-1 = pool
+  /// threads). At most one chunk per worker runs at a time, so fn may
+  /// mutate per-worker state indexed by that id without synchronization.
+  void parallel_for_workers(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(unsigned, std::size_t, std::size_t)>& fn);
+
  private:
-  void worker_loop();
+  void worker_loop(unsigned worker);
 
   unsigned num_threads_ = 1;
   std::vector<std::thread> workers_;
@@ -43,7 +55,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  const std::function<void(unsigned, std::size_t, std::size_t)>* job_ =
+      nullptr;
   std::size_t job_end_ = 0;
   std::size_t job_grain_ = 1;
   std::atomic<std::size_t> next_{0};

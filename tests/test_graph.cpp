@@ -57,6 +57,43 @@ TEST(Graph, FindEdge) {
   EXPECT_EQ(g.find_edge(2, 3), kInvalidEdge);
 }
 
+TEST(Graph, IncidenceListsSortedByNeighborRegardlessOfEdgeOrder) {
+  // Deliberately scrambled edge input: the CSR construction must still
+  // deliver each incidence list sorted by neighbor id (the documented
+  // invariant behind binary-search find_edge and canonical inbox order).
+  Graph g(6, {{4, 2}, {0, 5}, {3, 0}, {2, 0}, {5, 2}, {1, 0}});
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_LT(nbrs[i - 1].to, nbrs[i].to) << "vertex " << v;
+    }
+  }
+  // Binary-search find_edge agrees with a linear scan on every pair.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EdgeId expect = kInvalidEdge;
+      for (const auto& inc : g.neighbors(u)) {
+        if (inc.to == v) expect = inc.edge;
+      }
+      EXPECT_EQ(g.find_edge(u, v), expect) << u << "-" << v;
+    }
+  }
+}
+
+TEST(Graph, FindEdgeFuzzAgainstLinearScan) {
+  Rng rng(41);
+  const Graph g = erdos_renyi(60, 0.15, rng);
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng.below(60));
+    const NodeId v = static_cast<NodeId>(rng.below(60));
+    EdgeId expect = kInvalidEdge;
+    for (const auto& inc : g.neighbors(u)) {
+      if (inc.to == v) expect = inc.edge;
+    }
+    EXPECT_EQ(g.find_edge(u, v), expect);
+  }
+}
+
 TEST(Graph, EmptyGraph) {
   Graph g(0, {});
   EXPECT_EQ(g.num_nodes(), 0u);

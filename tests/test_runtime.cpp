@@ -1,11 +1,13 @@
 // Tests for the synchronous message-passing runtime: delivery semantics
 // (the model of the paper's Section 2), channel exclusivity, bit
-// metering, determinism, and thread-pool equivalence.
+// metering, determinism, thread-pool equivalence, and the epoch-stamped
+// mailbox / active-set scheduler introduced in DESIGN.md §9.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
 
+#include "core/israeli_itai.hpp"
 #include "graph/generators.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/thread_pool.hpp"
@@ -217,6 +219,161 @@ TEST(SyncNetwork, ParallelEqualsSequential) {
   ThreadPool pool(4);
   const auto [par_state, par_stats] = run_with(&pool);
   EXPECT_EQ(seq_state, par_state);
+  EXPECT_EQ(seq_stats.messages, par_stats.messages);
+  EXPECT_EQ(seq_stats.total_bits, par_stats.total_bits);
+  EXPECT_EQ(seq_stats.max_message_bits, par_stats.max_message_bits);
+}
+
+TEST(SyncNetwork, InFlightMessagesSurviveSilentSenders) {
+  // stop_when_silent must not cut off messages already in flight: the
+  // engine stops only after a round in which nothing was sent, by which
+  // time everything previously sent has been delivered.
+  Graph g = path_graph(5);
+  SyncNetwork<IntMsg> net(g, 1);
+  std::vector<int> got(5, -1);
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    for (const auto& in : ctx.inbox()) {
+      got[ctx.id()] = in.payload->value;
+      // Forward right with the hop count; the original sender stays
+      // silent from round 1 on, so there is always exactly one message
+      // in flight until the wave hits node 4.
+      for (const auto& inc : ctx.graph().neighbors(ctx.id())) {
+        if (inc.to > ctx.id()) {
+          ctx.send(inc.edge, IntMsg{in.payload->value + 1});
+        }
+      }
+    }
+    if (ctx.round() == 0 && ctx.id() == 0) ctx.send(0, IntMsg{1});
+  };
+  const std::uint64_t rounds = net.run(100, /*stop_when_silent=*/true, step);
+  EXPECT_EQ(got[1], 1);
+  EXPECT_EQ(got[2], 2);
+  EXPECT_EQ(got[3], 3);
+  EXPECT_EQ(got[4], 4);  // the last in-flight hop was delivered, not dropped
+  EXPECT_EQ(rounds, 5u);  // 4 forwarding rounds + 1 silent detection round
+  EXPECT_EQ(net.stats().messages, 4u);
+}
+
+TEST(SyncNetwork, InboxIsInIncidenceOrder) {
+  // The mailbox's counting-sort delivery must present each inbox in the
+  // receiver's incidence order — the invariant protocols and the lca
+  // re-executor rely on for RNG-draw determinism.
+  Rng rng(3);
+  Graph g = erdos_renyi(40, 0.3, rng);
+  ThreadPool pool(4);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    SyncNetwork<IntMsg> net(g, 1);
+    net.set_thread_pool(p);
+    auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+      if (ctx.round() == 0) {
+        ctx.send_all(IntMsg{static_cast<int>(ctx.id())});
+        return;
+      }
+      const auto nbrs = ctx.graph().neighbors(ctx.id());
+      ASSERT_EQ(ctx.inbox().size(), nbrs.size());
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        EXPECT_EQ(ctx.inbox()[i].from, nbrs[i].to);
+        EXPECT_EQ(ctx.inbox()[i].edge, nbrs[i].edge);
+      }
+    };
+    net.run_round(step);
+    net.run_round(step);
+  }
+}
+
+TEST(SyncNetwork, ActiveSetStepsOnlyReceiversKeepersAndActivated) {
+  Graph g = path_graph(6);
+  SyncNetwork<IntMsg> net(g, 1);
+  net.restrict_initial_active();
+  net.activate(2);
+  std::vector<int> steps(6, 0);
+  auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+    ++steps[ctx.id()];
+    if (ctx.round() == 0) {
+      // Node 2 messages its right neighbor and keeps itself alive.
+      ctx.send(ctx.graph().find_edge(2, 3), IntMsg{7});
+      ctx.keep_active();
+    }
+  };
+  net.run_round(step);
+  EXPECT_EQ(net.last_round_stepped(), 1u);  // only the activated node
+  EXPECT_EQ(steps, (std::vector<int>{0, 0, 1, 0, 0, 0}));
+  net.run_round(step);
+  // Round 1: receiver (3) plus the keep_active caller (2), nobody else.
+  EXPECT_EQ(net.last_round_stepped(), 2u);
+  EXPECT_EQ(steps, (std::vector<int>{0, 0, 2, 1, 0, 0}));
+  net.run_round(step);
+  EXPECT_EQ(net.last_round_stepped(), 0u);  // everyone went dormant
+}
+
+TEST(SyncNetwork, StepAllNodesRestoresFullSweep) {
+  Graph g = path_graph(6);
+  SyncNetwork<IntMsg> net(g, 1);
+  net.step_all_nodes();
+  int stepped = 0;
+  auto step = [&](SyncNetwork<IntMsg>::Ctx&) { ++stepped; };
+  net.run_round(step);
+  net.run_round(step);
+  EXPECT_EQ(stepped, 12);
+  EXPECT_EQ(net.last_round_stepped(), 6u);
+}
+
+TEST(SyncNetwork, ActiveSetMatchesStepAllOnIsraeliItai) {
+  // The migrated israeli_itai keeps every node alive that could act
+  // spontaneously, so active-set scheduling must reproduce the
+  // step-everything execution bit for bit: same matching, same rounds,
+  // same message/bit meters.
+  Rng rng(21);
+  const Graph g = erdos_renyi(400, 8.0 / 400, rng);
+  IsraeliItaiOptions active;
+  active.seed = 5;
+  IsraeliItaiOptions all = active;
+  all.step_all_nodes = true;
+  const DistMatchingResult ra = israeli_itai(g, active);
+  const DistMatchingResult rb = israeli_itai(g, all);
+  EXPECT_EQ(ra.converged, rb.converged);
+  EXPECT_EQ(ra.stats.rounds, rb.stats.rounds);
+  EXPECT_EQ(ra.stats.messages, rb.stats.messages);
+  EXPECT_EQ(ra.stats.total_bits, rb.stats.total_bits);
+  EXPECT_EQ(ra.stats.max_message_bits, rb.stats.max_message_bits);
+  ASSERT_EQ(ra.matching.num_nodes(), rb.matching.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(ra.matching.matched_edge(v), rb.matching.matched_edge(v)) << v;
+  }
+}
+
+TEST(SyncNetwork, PoolBitIdenticalToSequentialAt8Threads) {
+  // Active-set execution with per-worker send lists and stat slots must
+  // stay a pure function of the seed across thread counts.
+  Rng rng(31);
+  Graph g = erdos_renyi(500, 0.02, rng);
+  auto run_with = [&](ThreadPool* pool) {
+    std::vector<std::uint64_t> state(g.num_nodes(), 0);
+    SyncNetwork<IntMsg> net(g, 12);
+    net.set_thread_pool(pool);
+    auto step = [&](SyncNetwork<IntMsg>::Ctx& ctx) {
+      const NodeId v = ctx.id();
+      for (const auto& in : ctx.inbox()) {
+        state[v] = state[v] * 31 +
+                   static_cast<std::uint64_t>(in.payload->value);
+      }
+      const int draw = static_cast<int>(ctx.rng().below(1000));
+      state[v] += static_cast<std::uint64_t>(draw);
+      if (ctx.round() < 10 && draw % 4 != 0) {
+        ctx.keep_active();
+        for (const auto& inc : ctx.graph().neighbors(v)) {
+          if ((draw + inc.to) % 3 == 0) ctx.send(inc.edge, IntMsg{draw});
+        }
+      }
+    };
+    for (int r = 0; r < 12; ++r) net.run_round(step);
+    return std::make_pair(state, net.stats());
+  };
+  const auto [seq_state, seq_stats] = run_with(nullptr);
+  ThreadPool pool(8);
+  const auto [par_state, par_stats] = run_with(&pool);
+  EXPECT_EQ(seq_state, par_state);
+  EXPECT_EQ(seq_stats.rounds, par_stats.rounds);
   EXPECT_EQ(seq_stats.messages, par_stats.messages);
   EXPECT_EQ(seq_stats.total_bits, par_stats.total_bits);
   EXPECT_EQ(seq_stats.max_message_bits, par_stats.max_message_bits);
