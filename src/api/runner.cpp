@@ -6,8 +6,14 @@
 #include <memory>
 #include <stdexcept>
 
+#include <chrono>
+#include <thread>
+
 #include "api/json.hpp"
+#include "api/provenance.hpp"
 #include "api/registry.hpp"
+#include "dynamic/matcher.hpp"
+#include "dynamic/stream.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "lca/batch.hpp"
@@ -17,61 +23,6 @@
 
 namespace lps::api {
 namespace {
-
-/// kv accessor for generator specs with required/optional semantics.
-class SpecArgs {
- public:
-  SpecArgs(std::string family, const std::string& kv)
-      : family_(std::move(family)), values_(parse_kv_list(kv)) {}
-
-  std::int64_t require_int(const std::string& key) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) {
-      throw std::invalid_argument("generator '" + family_ +
-                                  "': missing required key '" + key + "'");
-    }
-    used_.push_back(key);
-    return parse_int_value(key, it->second);
-  }
-
-  std::int64_t get_int(const std::string& key, std::int64_t fallback) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    used_.push_back(key);
-    return parse_int_value(key, it->second);
-  }
-
-  double get_double(const std::string& key, double fallback) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    used_.push_back(key);
-    return parse_double_value(key, it->second);
-  }
-
-  std::string get(const std::string& key, const std::string& fallback) {
-    const auto it = values_.find(key);
-    if (it == values_.end()) return fallback;
-    used_.push_back(key);
-    return it->second;
-  }
-
-  bool has(const std::string& key) const { return values_.count(key) != 0; }
-
-  /// Every provided key must have been consumed — typos fail loudly.
-  void check_all_used() const {
-    for (const auto& [key, _] : values_) {
-      if (std::find(used_.begin(), used_.end(), key) == used_.end()) {
-        throw std::invalid_argument("generator '" + family_ +
-                                    "': unknown key '" + key + "'");
-      }
-    }
-  }
-
- private:
-  std::string family_;
-  std::map<std::string, std::string> values_;
-  std::vector<std::string> used_;
-};
 
 /// nullopt = no weight model requested; a (possibly empty, when m = 0)
 /// vector otherwise, so zero-edge instances stay weighted.
@@ -117,7 +68,7 @@ Instance make_instance(const std::string& spec, std::uint64_t seed) {
   const std::string family = spec.substr(0, colon);
   const std::string kv =
       colon == std::string::npos ? "" : spec.substr(colon + 1);
-  SpecArgs args(family, kv);
+  SpecArgs args("generator", family, kv);
   Rng rng(seed);
 
   const auto node_arg = [&](const char* key) {
@@ -343,6 +294,98 @@ void run_lca_leg(const RunSpec& spec, const Instance& inst,
   }
 }
 
+/// The dynamic leg: build the update trace, stream it through the
+/// requested maintainer, and measure throughput, recourse, and the
+/// approximation ratio against a from-scratch registry solve at
+/// checkpoints along the stream. Checkpoint solves run off the clock —
+/// they are measurement, not maintenance.
+void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
+  const dynamic::StreamSpec stream =
+      dynamic::make_update_stream(spec.dynamic_stream, spec.instance_seed);
+  auto matcher = dynamic::make_matcher(
+      spec.dynamic, dynamic::DynamicGraph(stream.initial_nodes),
+      spec.dynamic_config.empty()
+          ? std::map<std::string, std::string>{}
+          : parse_kv_list(spec.dynamic_config));
+  out.dynamic_maintainer = matcher->name();
+
+  // Exact baseline while affordable, certified-reference greedy beyond.
+  // Decided per checkpoint from the *current* snapshot: growing streams
+  // (pa, vertex churn) must not drag the O(n^3)-class exact oracle to
+  // scales it was never meant for just because the stream started small.
+  const auto ratio_now = [&]() {
+    const dynamic::Snapshot snap = matcher->graph().snapshot();
+    out.dynamic_baseline =
+        snap.graph.num_nodes() <= 400 ? "blossom" : "greedy_mcm";
+    if (snap.graph.num_edges() == 0) return 1.0;
+    SolverConfig config;
+    config.seed(spec.solver_seed);
+    const SolveResult solved =
+        SolverRegistry::global().at(out.dynamic_baseline).solve(
+            Instance::unweighted(snap.graph), config);
+    if (solved.matching.size() == 0) return 1.0;
+    return static_cast<double>(matcher->matching_size()) /
+           static_cast<double>(solved.matching.size());
+  };
+
+  // The bootstrap prefix (churn/adversarial's m0 build inserts) is
+  // warm-up, not workload: it runs off the clock and outside the
+  // recourse accounting, so updates/sec measures maintenance under
+  // churn on the standing graph, not bulk construction.
+  const std::uint64_t total = stream.trace.size();
+  const std::uint64_t bootstrap = stream.bootstrap;
+  for (std::uint64_t i = 0; i < bootstrap; ++i) {
+    matcher->apply(stream.trace[i]);
+  }
+  const std::uint64_t measured = total - bootstrap;
+  const std::uint64_t recourse_before = matcher->stats().recourse;
+  std::uint64_t next_checkpoint =
+      spec.dynamic_checkpoints > 0
+          ? std::max<std::uint64_t>(1, measured / spec.dynamic_checkpoints)
+          : measured + 1;
+  const std::uint64_t checkpoint_step = next_checkpoint;
+  double ratio_min = 2.0;
+  std::chrono::steady_clock::duration applied{0};
+  for (std::uint64_t i = 0; i < measured; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    matcher->apply(stream.trace[bootstrap + i]);
+    applied += std::chrono::steady_clock::now() - t0;
+    if (i + 1 >= next_checkpoint && i + 1 < measured) {
+      next_checkpoint += checkpoint_step;
+      ratio_min = std::min(ratio_min, ratio_now());
+    }
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    matcher->flush();
+    applied += std::chrono::steady_clock::now() - t0;
+  }
+
+  out.dynamic_bootstrap_updates = bootstrap;
+  out.dynamic_updates = measured;
+  const double secs = std::chrono::duration<double>(applied).count();
+  out.dynamic_updates_per_sec =
+      secs > 0.0 ? static_cast<double>(measured) / secs : 0.0;
+  out.dynamic_recourse_per_update =
+      measured > 0 ? static_cast<double>(matcher->stats().recourse -
+                                         recourse_before) /
+                         static_cast<double>(measured)
+                   : 0.0;
+  out.dynamic_final_size = matcher->matching_size();
+  out.dynamic_final_edges = matcher->graph().num_live_edges();
+  if (spec.dynamic_checkpoints > 0) {
+    out.dynamic_ratio = ratio_now();
+    out.dynamic_ratio_min = std::min(ratio_min, out.dynamic_ratio);
+  }
+  try {
+    matcher->check_matching();
+    matcher->graph().check_invariants();
+    out.dynamic_valid = true;
+  } catch (const std::logic_error&) {
+    out.dynamic_valid = false;
+  }
+}
+
 }  // namespace
 
 RunResult run_one(const RunSpec& spec) {
@@ -443,6 +486,23 @@ RunResult run_one(const RunSpec& spec) {
   if (!spec.lca.empty()) {
     run_lca_leg(spec, inst, config, result.matching, pool.get(), out);
   }
+  if (!spec.dynamic.empty()) {
+    if (spec.dynamic_stream.empty()) {
+      throw std::invalid_argument(
+          "run_one: dynamic leg requires a dynamic_stream spec");
+    }
+    run_dynamic_leg(spec, out);
+  }
+  // Mirror ThreadPool's resolution of the 0 sentinel (hardware
+  // concurrency, floored at 1 — the standard allows it to report 0).
+  const unsigned resolved_threads =
+      spec.threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                        : spec.threads;
+  const Provenance prov = current_provenance(resolved_threads);
+  out.prov_git_sha = prov.git_sha;
+  out.prov_build_type = prov.build_type;
+  out.prov_threads = prov.threads;
+  out.prov_timestamp_utc = prov.timestamp_utc;
   return out;
 }
 
@@ -483,6 +543,21 @@ std::string RunResult::to_json() const {
       .add("lca_queries_per_sec", lca_queries_per_sec)
       .add("lca_cache_hit_rate", lca_cache_hit_rate)
       .add("lca_agree", lca_agree)
+      .add("dynamic_maintainer", dynamic_maintainer)
+      .add("dynamic_stream", spec.dynamic_stream)
+      .add("dynamic_bootstrap_updates", dynamic_bootstrap_updates)
+      .add("dynamic_updates", dynamic_updates)
+      .add("dynamic_updates_per_sec", dynamic_updates_per_sec)
+      .add("dynamic_recourse_per_update", dynamic_recourse_per_update)
+      .add("dynamic_final_size", static_cast<std::uint64_t>(dynamic_final_size))
+      .add("dynamic_final_edges", dynamic_final_edges)
+      .add("dynamic_ratio", dynamic_ratio)
+      .add("dynamic_ratio_min", dynamic_ratio_min)
+      .add("dynamic_baseline", dynamic_baseline)
+      .add("dynamic_valid", dynamic_valid)
+      .add("provenance", provenance_json(Provenance{
+                             prov_git_sha, prov_build_type, prov_threads,
+                             prov_timestamp_utc}))
       .add("metrics", metrics_obj);
   return o.str();
 }
@@ -505,6 +580,13 @@ std::string write_json(const RunResult& result, const std::string& dir,
     if (!result.spec.lca.empty()) {
       stem += "__lca-" + result.spec.lca + "-q" +
               std::to_string(result.spec.lca_queries);
+    }
+    if (!result.spec.dynamic.empty()) {
+      stem += "__dyn-" + result.spec.dynamic + "-" + result.spec.dynamic_stream;
+      if (!result.spec.dynamic_config.empty()) {
+        stem += "-" + result.spec.dynamic_config;
+      }
+      stem += "-cp" + std::to_string(result.spec.dynamic_checkpoints);
     }
   }
   for (char& c : stem) {

@@ -61,6 +61,22 @@ struct RunSpec {
   std::uint64_t lca_queries = 0;
   /// Oracle memo bound (entries per table); 0 = oracle default.
   std::uint64_t lca_cache = 0;
+  /// Dynamic-matching leg (src/dynamic), run after the solve: "" skips
+  /// it; otherwise a maintainer name ("greedy" | "repair" | "scratch").
+  /// The leg replays `dynamic_stream` through the maintainer and
+  /// records updates/sec, recourse per update, and the maintained
+  /// matching's approximation against a from-scratch registry solve.
+  std::string dynamic;
+  /// Update-stream spec (dynamic/stream.hpp grammar, e.g.
+  /// "churn:n=4096,m0=8192,updates=20000"). Required when `dynamic` is
+  /// set; seeded by instance_seed.
+  std::string dynamic_stream;
+  /// Maintainer kv config (make_matcher grammar; e.g. "eps=0.1,
+  /// interval=16" for repair).
+  std::string dynamic_config;
+  /// Approximation-vs-time sample points along the stream (snapshots
+  /// re-solved through the registry); 0 disables the ratio columns.
+  std::uint64_t dynamic_checkpoints = 8;
 };
 
 struct RunResult {
@@ -103,6 +119,33 @@ struct RunResult {
   /// disagreed, -1 = not audited (oracle not paired with the solver,
   /// or no queries ran).
   int lca_agree = -1;
+  // Dynamic leg (zero/empty unless spec.dynamic was set). The headline
+  // numbers: updates/sec (the incremental path's throughput, to beat
+  // the from-scratch re-solve) and recourse per update (matched-edge
+  // flips — how much the answer churns).
+  std::string dynamic_maintainer;  // maintainer actually run ("" = none)
+  /// Warm-up updates that built the initial graph (off the clock and
+  /// outside the recourse accounting; see StreamSpec::bootstrap).
+  std::uint64_t dynamic_bootstrap_updates = 0;
+  /// Measured churn updates (the stream minus the bootstrap prefix).
+  std::uint64_t dynamic_updates = 0;
+  double dynamic_updates_per_sec = 0.0;
+  double dynamic_recourse_per_update = 0.0;
+  std::size_t dynamic_final_size = 0;
+  std::uint64_t dynamic_final_edges = 0;  // live edges after the stream
+  /// Maintained size / from-scratch registry solve on the same
+  /// snapshot, at the final state and as the minimum over checkpoints
+  /// (approximation vs time); -1 when checkpoints were disabled.
+  double dynamic_ratio = -1.0;
+  double dynamic_ratio_min = -1.0;
+  std::string dynamic_baseline;  // registry solver used for the ratio
+  bool dynamic_valid = false;    // final matching audit passed
+  // Provenance stamp (git SHA, build type, resolved threads, record
+  // timestamp); filled by run_one.
+  std::string prov_git_sha;
+  std::string prov_build_type;
+  unsigned prov_threads = 0;
+  std::string prov_timestamp_utc;
 
   /// The flat JSON record (one line).
   std::string to_json() const;

@@ -1,0 +1,245 @@
+#include "dynamic/dynamic_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace lps::dynamic {
+
+namespace {
+void require_weight(double w, const char* who) {
+  if (!(w > 0.0) || !std::isfinite(w)) {
+    throw std::invalid_argument(std::string(who) +
+                                ": weight must be positive and finite");
+  }
+}
+}  // namespace
+
+DynamicGraph::DynamicGraph(NodeId n)
+    : adj_(n), node_alive_(n, 1), live_nodes_(n) {}
+
+DynamicGraph DynamicGraph::from_graph(const Graph& g,
+                                      const std::vector<double>* weights) {
+  if (weights != nullptr && weights->size() != g.num_edges()) {
+    throw std::invalid_argument("DynamicGraph::from_graph: weight size");
+  }
+  DynamicGraph out(g.num_nodes());
+  out.edges_.resize(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    out.edges_[e] = {ed.u, ed.v, weights ? (*weights)[e] : 1.0, 1};
+    if (weights) require_weight((*weights)[e], "DynamicGraph::from_graph");
+  }
+  out.live_edges_ = g.num_edges();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    out.adj_[v].reserve(nbrs.size());
+    // Graph's incidence lists are already sorted by neighbor id, so the
+    // dynamic invariant holds by construction.
+    for (const Graph::Incidence& inc : nbrs) {
+      out.adj_[v].push_back({inc.to, inc.edge});
+    }
+  }
+  return out;
+}
+
+void DynamicGraph::require_live_node(NodeId v, const char* who) const {
+  if (!node_alive(v)) {
+    throw std::invalid_argument(std::string(who) + ": dead or unknown node " +
+                                std::to_string(v));
+  }
+}
+
+void DynamicGraph::require_live_edge(EdgeId e, const char* who) const {
+  if (!edge_alive(e)) {
+    throw std::invalid_argument(std::string(who) + ": dead or unknown edge " +
+                                std::to_string(e));
+  }
+}
+
+Edge DynamicGraph::edge(EdgeId e) const {
+  require_live_edge(e, "DynamicGraph::edge");
+  return {edges_[e].u, edges_[e].v};
+}
+
+double DynamicGraph::weight(EdgeId e) const {
+  require_live_edge(e, "DynamicGraph::weight");
+  return edges_[e].weight;
+}
+
+NodeId DynamicGraph::other_endpoint(EdgeId e, NodeId v) const {
+  require_live_edge(e, "DynamicGraph::other_endpoint");
+  return edges_[e].u == v ? edges_[e].v : edges_[e].u;
+}
+
+EdgeId DynamicGraph::find_edge(NodeId u, NodeId v) const {
+  if (!node_alive(u) || !node_alive(v)) return kInvalidEdge;
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto& nbrs = adj_[u];
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), v,
+      [](const Arc& a, NodeId target) { return a.to < target; });
+  if (it != nbrs.end() && it->to == v) return it->edge;
+  return kInvalidEdge;
+}
+
+NodeId DynamicGraph::add_vertex() {
+  adj_.emplace_back();
+  node_alive_.push_back(1);
+  ++live_nodes_;
+  return static_cast<NodeId>(adj_.size() - 1);
+}
+
+void DynamicGraph::remove_vertex(NodeId v) {
+  require_live_node(v, "DynamicGraph::remove_vertex");
+  // Snapshot the incident edge ids first: delete_edge mutates adj_[v].
+  std::vector<EdgeId> incident;
+  incident.reserve(adj_[v].size());
+  for (const Arc& a : adj_[v]) incident.push_back(a.edge);
+  for (EdgeId e : incident) delete_edge(e);
+  node_alive_[v] = 0;
+  --live_nodes_;
+}
+
+void DynamicGraph::arc_insert(NodeId v, Arc a) {
+  auto& nbrs = adj_[v];
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), a.to,
+      [](const Arc& x, NodeId target) { return x.to < target; });
+  nbrs.insert(it, a);
+}
+
+void DynamicGraph::arc_erase(NodeId v, NodeId to) {
+  auto& nbrs = adj_[v];
+  const auto it = std::lower_bound(
+      nbrs.begin(), nbrs.end(), to,
+      [](const Arc& x, NodeId target) { return x.to < target; });
+  nbrs.erase(it);
+}
+
+EdgeId DynamicGraph::insert_edge(NodeId u, NodeId v, double w) {
+  require_live_node(u, "DynamicGraph::insert_edge");
+  require_live_node(v, "DynamicGraph::insert_edge");
+  if (u == v) {
+    throw std::invalid_argument("DynamicGraph::insert_edge: self-loop");
+  }
+  require_weight(w, "DynamicGraph::insert_edge");
+  if (u > v) std::swap(u, v);
+  if (find_edge(u, v) != kInvalidEdge) {
+    throw std::invalid_argument("DynamicGraph::insert_edge: duplicate edge (" +
+                                std::to_string(u) + ", " + std::to_string(v) +
+                                ")");
+  }
+  EdgeId id;
+  if (!free_edges_.empty()) {
+    id = free_edges_.back();
+    free_edges_.pop_back();
+  } else {
+    id = static_cast<EdgeId>(edges_.size());
+    edges_.emplace_back();
+  }
+  edges_[id] = {u, v, w, 1};
+  arc_insert(u, {v, id});
+  arc_insert(v, {u, id});
+  ++live_edges_;
+  return id;
+}
+
+void DynamicGraph::delete_edge(EdgeId e) {
+  require_live_edge(e, "DynamicGraph::delete_edge");
+  const EdgeRec rec = edges_[e];
+  arc_erase(rec.u, rec.v);
+  arc_erase(rec.v, rec.u);
+  edges_[e].alive = 0;
+  free_edges_.push_back(e);
+  --live_edges_;
+}
+
+void DynamicGraph::set_weight(EdgeId e, double w) {
+  require_live_edge(e, "DynamicGraph::set_weight");
+  require_weight(w, "DynamicGraph::set_weight");
+  edges_[e].weight = w;
+}
+
+Snapshot DynamicGraph::snapshot() const {
+  Snapshot out;
+  out.dynamic_to_node.assign(adj_.size(), kInvalidNode);
+  out.node_to_dynamic.reserve(live_nodes_);
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    if (!node_alive_[v]) continue;
+    out.dynamic_to_node[v] = static_cast<NodeId>(out.node_to_dynamic.size());
+    out.node_to_dynamic.push_back(v);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(live_edges_);
+  out.edge_to_dynamic.reserve(live_edges_);
+  out.weights.reserve(live_edges_);
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edges_[e].alive) continue;
+    edges.push_back(
+        {out.dynamic_to_node[edges_[e].u], out.dynamic_to_node[edges_[e].v]});
+    out.edge_to_dynamic.push_back(e);
+    out.weights.push_back(edges_[e].weight);
+  }
+  out.graph = Graph(static_cast<NodeId>(out.node_to_dynamic.size()),
+                    std::move(edges));
+  return out;
+}
+
+void DynamicGraph::check_invariants() const {
+  const auto fail = [](const std::string& what) {
+    throw std::logic_error("DynamicGraph::check_invariants: " + what);
+  };
+  if (adj_.size() != node_alive_.size()) fail("node table sizes");
+  NodeId live_n = 0;
+  std::size_t arc_count = 0;
+  for (NodeId v = 0; v < adj_.size(); ++v) {
+    if (node_alive_[v]) ++live_n;
+    if (!node_alive_[v] && !adj_[v].empty()) {
+      fail("dead node " + std::to_string(v) + " has arcs");
+    }
+    arc_count += adj_[v].size();
+    for (std::size_t i = 0; i < adj_[v].size(); ++i) {
+      const Arc& a = adj_[v][i];
+      if (i > 0 && adj_[v][i - 1].to >= a.to) {
+        fail("incidence of node " + std::to_string(v) + " not sorted");
+      }
+      if (a.edge >= edges_.size() || !edges_[a.edge].alive) {
+        fail("arc to dead edge " + std::to_string(a.edge));
+      }
+      const EdgeRec& rec = edges_[a.edge];
+      const NodeId expect_to = rec.u == v ? rec.v : rec.u;
+      if ((rec.u != v && rec.v != v) || expect_to != a.to) {
+        fail("arc/edge endpoint mismatch at edge " + std::to_string(a.edge));
+      }
+    }
+  }
+  if (live_n != live_nodes_) fail("live node count");
+  EdgeId live_m = 0;
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    if (!edges_[e].alive) continue;
+    ++live_m;
+    const EdgeRec& rec = edges_[e];
+    if (rec.u >= rec.v) fail("edge " + std::to_string(e) + " not normalized");
+    if (!node_alive(rec.u) || !node_alive(rec.v)) {
+      fail("edge " + std::to_string(e) + " touches a dead node");
+    }
+    if (!(rec.weight > 0.0) || !std::isfinite(rec.weight)) {
+      fail("edge " + std::to_string(e) + " has a bad weight");
+    }
+    // The mirror arcs must both exist and name this edge.
+    if (find_edge(rec.u, rec.v) != e) {
+      fail("find_edge misses edge " + std::to_string(e));
+    }
+  }
+  if (live_m != live_edges_) fail("live edge count");
+  if (arc_count != 2 * static_cast<std::size_t>(live_edges_)) {
+    fail("arc count != 2 * live edges");
+  }
+  if (free_edges_.size() != edges_.size() - live_edges_) {
+    fail("free list size");
+  }
+}
+
+}  // namespace lps::dynamic

@@ -1,0 +1,142 @@
+// Mutable graph overlay for the fully dynamic matching subsystem.
+//
+// `graph::Graph` is a frozen CSR snapshot: perfect for the solvers, the
+// engine, and the oracles, but a serving system sees *changing* traffic
+// (edges appearing and disappearing every timeslot in the switch
+// workload). DynamicGraph is the mutable counterpart: adjacency lists
+// that support O(deg) edge insertion/deletion and vertex addition/
+// removal while preserving the sorted-incidence invariant the static
+// Graph documents (each vertex's incidence list ascending by neighbor
+// id), so find_edge stays a binary search and iteration order stays
+// canonical across the static/dynamic boundary.
+//
+// Edge ids are recycled through a free list so unbounded update streams
+// do not grow the edge table without bound; vertex ids are never reused
+// (a removed vertex's slot stays dead) so stream generators can name
+// vertices stably. `snapshot()` compacts the live subgraph into a
+// `Graph` (+ weights + id maps) to feed the existing solver registry —
+// the bridge the periodic-repair maintainer and the solve-from-scratch
+// baselines cross.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lps::dynamic {
+
+/// Entry in a vertex's dynamic incidence list; mirrors Graph::Incidence
+/// (same fields, same sorted-by-neighbor invariant).
+struct Arc {
+  NodeId to;
+  EdgeId edge;
+};
+
+/// A snapshot plus the id maps back into the DynamicGraph that produced
+/// it (snapshot node i == dynamic node node_to_dynamic[i], and likewise
+/// for edges). dynamic_to_node is kInvalidNode for dead/unmapped slots.
+struct Snapshot {
+  Graph graph;
+  std::vector<double> weights;          // per snapshot edge id
+  std::vector<NodeId> node_to_dynamic;  // snapshot node -> dynamic node
+  std::vector<EdgeId> edge_to_dynamic;  // snapshot edge -> dynamic edge
+  std::vector<NodeId> dynamic_to_node;  // dynamic node -> snapshot node
+};
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  /// Start with `n` live, isolated vertices.
+  explicit DynamicGraph(NodeId n);
+  /// Seed from a static graph (all vertices/edges live, ids preserved);
+  /// `weights` (when non-null) must have one entry per edge.
+  static DynamicGraph from_graph(const Graph& g,
+                                 const std::vector<double>* weights = nullptr);
+
+  // ----------------------------------------------------------- shape --
+  /// One past the largest vertex id ever allocated (dead slots counted).
+  NodeId node_slots() const noexcept {
+    return static_cast<NodeId>(adj_.size());
+  }
+  /// One past the largest edge id currently allocatable.
+  EdgeId edge_slots() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+  NodeId num_live_nodes() const noexcept { return live_nodes_; }
+  EdgeId num_live_edges() const noexcept { return live_edges_; }
+
+  bool node_alive(NodeId v) const {
+    return v < adj_.size() && node_alive_[v] != 0;
+  }
+  bool edge_alive(EdgeId e) const {
+    return e < edges_.size() && edges_[e].alive != 0;
+  }
+
+  /// Endpoints of a live edge, normalized u < v (throws on dead ids).
+  Edge edge(EdgeId e) const;
+  double weight(EdgeId e) const;
+  NodeId other_endpoint(EdgeId e, NodeId v) const;
+
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(adj_[v].size());
+  }
+  /// Sorted-by-neighbor incidence list (the PR 3 invariant, maintained
+  /// under every update).
+  std::span<const Arc> neighbors(NodeId v) const {
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  /// Edge id connecting u and v, or kInvalidEdge. Binary search over
+  /// the smaller endpoint's list: O(log min degree).
+  EdgeId find_edge(NodeId u, NodeId v) const;
+
+  // --------------------------------------------------------- updates --
+  /// New live isolated vertex; ids are never recycled.
+  NodeId add_vertex();
+  /// Deletes all incident edges, then kills the vertex. O(sum of
+  /// endpoint degrees). Throws std::invalid_argument on dead ids.
+  void remove_vertex(NodeId v);
+  /// Insert (u, v) with weight `w` (> 0, finite). O(deg(u) + deg(v)).
+  /// Throws std::invalid_argument on self-loops, dead endpoints,
+  /// duplicate edges, or bad weights. Edge ids are recycled.
+  EdgeId insert_edge(NodeId u, NodeId v, double w = 1.0);
+  /// Delete a live edge by id. O(deg(u) + deg(v)).
+  void delete_edge(EdgeId e);
+  /// Re-weight a live edge (w > 0, finite).
+  void set_weight(EdgeId e, double w);
+
+  // --------------------------------------------------------- bridges --
+  /// Compact the live subgraph into a static Graph + weights + id maps
+  /// (solver registry food). O(live n + live m).
+  Snapshot snapshot() const;
+
+  /// Full structural audit: mirror arcs, sorted incidence, live counts,
+  /// edge table consistency. O(n + m); the soak tests call this after
+  /// every update. Throws std::logic_error naming the violation.
+  void check_invariants() const;
+
+ private:
+  void require_live_node(NodeId v, const char* who) const;
+  void require_live_edge(EdgeId e, const char* who) const;
+  /// Insert {to, edge} into v's sorted list / remove it. O(deg(v)).
+  void arc_insert(NodeId v, Arc a);
+  void arc_erase(NodeId v, NodeId to);
+
+  struct EdgeRec {
+    NodeId u = kInvalidNode;  // normalized u < v while alive
+    NodeId v = kInvalidNode;
+    double weight = 1.0;
+    std::uint8_t alive = 0;
+  };
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<std::uint8_t> node_alive_;
+  std::vector<EdgeRec> edges_;
+  std::vector<EdgeId> free_edges_;  // dead edge ids available for reuse
+  NodeId live_nodes_ = 0;
+  EdgeId live_edges_ = 0;
+};
+
+}  // namespace lps::dynamic

@@ -1,0 +1,80 @@
+// Update streams: the input language of the dynamic matching engine.
+//
+// An UpdateTrace is an ordered list of graph mutations addressed by
+// endpoints (not edge ids — ids are internal to DynamicGraph and get
+// recycled). Generators produce seeded, deterministic traces covering
+// the churn regimes a serving system sees:
+//
+//   churn:n=1024,m0=2048,updates=10000[,insert=0.5][,vertex=0.02]
+//          [,reweight=0][,wlo=1,whi=1]
+//       uniform edge churn over a fixed vertex set: each op inserts a
+//       uniformly random absent edge (prob `insert`) or deletes a
+//       uniformly random live edge; `vertex` diverts that fraction of
+//       ops to add_vertex/remove_vertex pairs, `reweight` to weight
+//       changes. The trace starts with m0 inserts building the initial
+//       graph.
+//   window:n=4096,updates=20000,window=4096[,wlo,whi]
+//       sliding-window stream: every op inserts a fresh random edge and
+//       the oldest edge beyond the window is deleted (FIFO) — the
+//       classic streaming model where edge lifetime is bounded.
+//   pa:n0=16,updates=5000,attach=2[,wlo,whi]
+//       preferential attachment: each op adds a vertex and `attach`
+//       edges whose endpoints are sampled proportional to degree+1 —
+//       grows hubs, the adversary of O(deg) update bounds.
+//   adversarial:n=256,m0=512,updates=10000[,insert=0.5]
+//       delete-matched adversary: tracks a shadow greedy maintainer and
+//       always deletes an edge the maintainer currently has matched
+//       (falling back to any live edge), forcing worst-case recourse.
+//
+// All families reject unknown keys, mirroring the generator-spec
+// grammar of api::make_instance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lps::dynamic {
+
+enum class UpdateKind : std::uint8_t {
+  kInsertEdge,
+  kDeleteEdge,
+  kAddVertex,
+  kRemoveVertex,
+  kSetWeight,
+};
+
+const char* to_string(UpdateKind k);
+
+/// One mutation. Edge ops name endpoints (u, v); kRemoveVertex names
+/// the vertex in `u`; kAddVertex carries no operands (the new vertex
+/// gets the next fresh id).
+struct Update {
+  UpdateKind kind = UpdateKind::kInsertEdge;
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double weight = 1.0;  // kInsertEdge / kSetWeight
+};
+
+using UpdateTrace = std::vector<Update>;
+
+/// The vertex-id universe a trace starts from: traces assume a
+/// DynamicGraph with exactly `initial_nodes` live vertices and no edges.
+struct StreamSpec {
+  NodeId initial_nodes = 0;
+  /// Leading trace entries that merely build the initial graph (the m0
+  /// inserts of churn/adversarial). Consumers measuring steady-state
+  /// churn throughput should treat trace[0..bootstrap) as warm-up, not
+  /// workload; window/pa streams have no warm-up phase (bootstrap = 0).
+  std::size_t bootstrap = 0;
+  UpdateTrace trace;
+};
+
+/// Build a trace from a `family:k=v,...` spec (see header comment).
+/// All randomness derives from `seed`. Throws std::invalid_argument on
+/// unknown families/keys or infeasible parameters.
+StreamSpec make_update_stream(const std::string& spec, std::uint64_t seed);
+
+}  // namespace lps::dynamic

@@ -1,0 +1,91 @@
+#include "dynamic/switch_adapter.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lps::dynamic {
+
+DynamicGraph make_port_graph(std::size_t ports) {
+  return DynamicGraph(static_cast<NodeId>(2 * ports));
+}
+
+SwitchReplayMetrics replay_switch(DynamicMatcher& matcher,
+                                  const SwitchReplayConfig& config) {
+  const std::size_t n = config.ports;
+  if (matcher.graph().node_slots() != 2 * n ||
+      matcher.graph().num_live_nodes() != 2 * n ||
+      matcher.graph().num_live_edges() != 0) {
+    throw std::invalid_argument(
+        "replay_switch: matcher must start from make_port_graph(ports)");
+  }
+  const auto lambda = traffic_matrix(config.pattern, n, config.load);
+  Rng rng(config.seed);
+
+  std::vector<std::vector<std::uint32_t>> occupancy(
+      n, std::vector<std::uint32_t>(n, 0));
+  SwitchReplayMetrics metrics;
+  std::uint64_t matched_served = 0;
+  const std::uint64_t recourse_before = matcher.stats().recourse;
+
+  const auto output_node = [n](std::size_t j) {
+    return static_cast<NodeId>(n + j);
+  };
+
+  for (std::uint64_t slot = 0; slot < config.slots; ++slot) {
+    // Arrivals: a VOQ going 0 -> 1 inserts its request edge.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (lambda[i][j] > 0.0 && rng.bernoulli(lambda[i][j])) {
+          ++metrics.arrived;
+          if (occupancy[i][j]++ == 0) {
+            matcher.apply({UpdateKind::kInsertEdge, static_cast<NodeId>(i),
+                           output_node(j)});
+            ++metrics.updates;
+          }
+        }
+      }
+    }
+    // Service: the maintained matching IS the crossbar schedule. A
+    // served VOQ draining to empty deletes its edge (after the scan, so
+    // the matching is not mutated mid-iteration).
+    std::vector<std::pair<std::size_t, std::size_t>> drained;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId mate = matcher.mate(static_cast<NodeId>(i));
+      if (mate == kInvalidNode) continue;
+      const std::size_t j = static_cast<std::size_t>(mate) - n;
+      // The edge exists only while the VOQ is nonempty, so there is
+      // always a cell to serve.
+      ++metrics.delivered;
+      ++matched_served;
+      if (--occupancy[i][j] == 0) drained.emplace_back(i, j);
+    }
+    for (const auto& [i, j] : drained) {
+      matcher.apply({UpdateKind::kDeleteEdge, static_cast<NodeId>(i),
+                     output_node(j)});
+      ++metrics.updates;
+    }
+  }
+
+  metrics.recourse = matcher.stats().recourse - recourse_before;
+  metrics.normalized_throughput =
+      metrics.arrived > 0 ? static_cast<double>(metrics.delivered) /
+                                static_cast<double>(metrics.arrived)
+                          : 1.0;
+  metrics.mean_matching = config.slots > 0
+                              ? static_cast<double>(matched_served) /
+                                    static_cast<double>(config.slots)
+                              : 0.0;
+  metrics.updates_per_slot = config.slots > 0
+                                 ? static_cast<double>(metrics.updates) /
+                                       static_cast<double>(config.slots)
+                                 : 0.0;
+  metrics.recourse_per_update =
+      metrics.updates > 0 ? static_cast<double>(metrics.recourse) /
+                                static_cast<double>(metrics.updates)
+                          : 0.0;
+  return metrics;
+}
+
+}  // namespace lps::dynamic

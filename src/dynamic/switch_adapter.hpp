@@ -1,0 +1,58 @@
+// Bridge from the switch workload (src/switch) to the dynamic matching
+// engine: VOQ traffic replayed as an update stream.
+//
+// The static schedulers rebuild their matching from scratch every
+// timeslot even though consecutive slots differ by a handful of
+// arrivals/departures. Here the request graph lives in a DynamicMatcher
+// instead: a VOQ (input i, output j) going nonempty inserts the edge
+// (i, ports + j), a VOQ draining to empty deletes it, and each slot the
+// crossbar simply *serves the maintained matching* — the previous
+// slot's matching is reused and only locally repaired, which is the
+// whole point of the subsystem.
+//
+// The replay is closed-loop (service depends on the maintained
+// matching, which depends on past service), so it drives the matcher
+// directly rather than pre-materializing an UpdateTrace.
+#pragma once
+
+#include <cstdint>
+
+#include "dynamic/matcher.hpp"
+#include "switch/traffic.hpp"
+
+namespace lps::dynamic {
+
+struct SwitchReplayConfig {
+  std::size_t ports = 16;
+  std::uint64_t slots = 20000;
+  double load = 0.8;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  std::uint64_t seed = 1;
+};
+
+struct SwitchReplayMetrics {
+  std::uint64_t arrived = 0;
+  std::uint64_t delivered = 0;
+  /// Graph updates the traffic induced (VOQ empty/nonempty edges).
+  std::uint64_t updates = 0;
+  /// Matched-edge flips across the whole replay (from the maintainer).
+  std::uint64_t recourse = 0;
+  /// delivered / arrived over the whole run (1.0 = the switch kept up).
+  double normalized_throughput = 0.0;
+  /// Mean matched pairs served per slot.
+  double mean_matching = 0.0;
+  double updates_per_slot = 0.0;
+  double recourse_per_update = 0.0;
+};
+
+/// Make the bipartite port graph a replay expects: 2 * ports live
+/// vertices (inputs 0..ports-1, outputs ports..2*ports-1), no edges.
+DynamicGraph make_port_graph(std::size_t ports);
+
+/// Replay `config.slots` slots of Bernoulli VOQ traffic through
+/// `matcher`, whose graph must be an edgeless port graph for
+/// `config.ports` (throws std::invalid_argument otherwise).
+SwitchReplayMetrics replay_switch(DynamicMatcher& matcher,
+                                  const SwitchReplayConfig& config);
+
+}  // namespace lps::dynamic

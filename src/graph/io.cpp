@@ -16,12 +16,22 @@ void write_edge_list(std::ostream& os, const Graph& g) {
 }
 
 void write_edge_list(std::ostream& os, const WeightedGraph& wg) {
+  // The serialization must not depend on the caller's stream state: a
+  // stream left in std::fixed would collapse small weights to 0 (which
+  // the reader then rejects as non-positive) and hexfloat is unreadable
+  // by operator>>. Force defaultfloat + max_digits10 for the weight
+  // columns and restore the stream afterwards.
+  const std::ios_base::fmtflags flags = os.flags();
+  const std::streamsize precision = os.precision();
   os << wg.graph.num_nodes() << ' ' << wg.graph.num_edges() << " w\n";
-  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << std::defaultfloat
+     << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (EdgeId e = 0; e < wg.graph.num_edges(); ++e) {
     const Edge& ed = wg.graph.edge(e);
     os << ed.u << ' ' << ed.v << ' ' << wg.weights[e] << '\n';
   }
+  os.flags(flags);
+  os.precision(precision);
 }
 
 ParsedGraph read_edge_list(std::istream& is) {

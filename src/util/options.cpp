@@ -1,5 +1,6 @@
 #include "util/options.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lps {
@@ -66,6 +67,45 @@ bool parse_bool_value(const std::string& key, const std::string& v) {
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   throw std::invalid_argument("bad boolean for '" + key + "': '" + v + "'");
+}
+
+std::int64_t SpecArgs::require_int(const std::string& key) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    throw std::invalid_argument(prefix() + ": missing required key '" + key +
+                                "'");
+  }
+  used_.push_back(key);
+  return parse_int_value(key, it->second);
+}
+
+std::int64_t SpecArgs::get_int(const std::string& key, std::int64_t fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_.push_back(key);
+  return parse_int_value(key, it->second);
+}
+
+double SpecArgs::get_double(const std::string& key, double fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_.push_back(key);
+  return parse_double_value(key, it->second);
+}
+
+std::string SpecArgs::get(const std::string& key, const std::string& fallback) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  used_.push_back(key);
+  return it->second;
+}
+
+void SpecArgs::check_all_used() const {
+  for (const auto& [key, _] : values_) {
+    if (std::find(used_.begin(), used_.end(), key) == used_.end()) {
+      throw std::invalid_argument(prefix() + ": unknown key '" + key + "'");
+    }
+  }
 }
 
 Options::Options(int argc, char** argv) {

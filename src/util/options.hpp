@@ -22,6 +22,36 @@ std::int64_t parse_int_value(const std::string& key, const std::string& v);
 double parse_double_value(const std::string& key, const std::string& v);
 bool parse_bool_value(const std::string& key, const std::string& v);
 
+/// kv accessor with required/optional semantics for `family:k=v,...`
+/// spec strings (generator specs, update-stream specs). Tracks which
+/// keys were consumed so check_all_used() can make typos fail loudly;
+/// `context` names the spec kind in error messages ("generator",
+/// "update stream", ...).
+class SpecArgs {
+ public:
+  SpecArgs(std::string context, std::string family, const std::string& kv)
+      : context_(std::move(context)),
+        family_(std::move(family)),
+        values_(parse_kv_list(kv)) {}
+
+  std::int64_t require_int(const std::string& key);
+  std::int64_t get_int(const std::string& key, std::int64_t fallback);
+  double get_double(const std::string& key, double fallback);
+  std::string get(const std::string& key, const std::string& fallback);
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+  /// Every provided key must have been consumed — typos fail loudly.
+  void check_all_used() const;
+
+ private:
+  std::string prefix() const { return context_ + " '" + family_ + "'"; }
+
+  std::string context_;
+  std::string family_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> used_;
+};
+
 class Options {
  public:
   Options(int argc, char** argv);

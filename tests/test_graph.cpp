@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iomanip>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -338,6 +339,42 @@ TEST(Io, WeightedRoundTripBitExact) {
   const ParsedGraph back = read_edge_list(ss);
   ASSERT_TRUE(back.weights.has_value());
   EXPECT_EQ(*back.weights, wg.weights);
+}
+
+// The writer must produce a faithful serialization no matter what
+// formatting state the caller's stream carries: a stream left in
+// std::fixed used to collapse small weights to "0.000...0" (the read
+// then threw on the non-positive weight), and hexfloat produced output
+// operator>> cannot parse at all.
+TEST(Io, WeightedRoundTripIgnoresStreamFormattingState) {
+  const WeightedGraph wg =
+      make_weighted(Graph(4, {{2, 1}, {0, 3}, {0, 1}}), {1e-20, 0.1, 5e-324});
+  for (const auto* mode : {"fixed", "scientific", "hexfloat", "precision2"}) {
+    std::stringstream ss;
+    if (std::string(mode) == "fixed") ss << std::fixed;
+    if (std::string(mode) == "scientific") ss << std::scientific;
+    if (std::string(mode) == "hexfloat") ss << std::hexfloat;
+    if (std::string(mode) == "precision2") ss << std::setprecision(2);
+    const auto flags_before = ss.flags();
+    const auto precision_before = ss.precision();
+    write_edge_list(ss, wg);
+    // The writer restores whatever state it changed.
+    EXPECT_EQ(ss.flags(), flags_before) << mode;
+    EXPECT_EQ(ss.precision(), precision_before) << mode;
+    const ParsedGraph back = read_edge_list(ss);
+    ASSERT_TRUE(back.weights.has_value()) << mode;
+    EXPECT_EQ(*back.weights, wg.weights) << mode;
+    // Reading re-establishes the sorted-incidence invariant.
+    for (NodeId v = 0; v < back.graph.num_nodes(); ++v) {
+      const auto nbrs = back.graph.neighbors(v);
+      for (std::size_t i = 1; i < nbrs.size(); ++i) {
+        EXPECT_LT(nbrs[i - 1].to, nbrs[i].to) << mode;
+      }
+    }
+    for (EdgeId e = 0; e < wg.graph.num_edges(); ++e) {
+      EXPECT_EQ(back.graph.edge(e), wg.graph.edge(e)) << mode;
+    }
+  }
 }
 
 TEST(Io, MalformedInputThrows) {
