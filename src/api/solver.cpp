@@ -58,6 +58,8 @@ SolverConfig& SolverConfig::set(const std::string& key,
                                 const std::string& value) {
   if (key == "seed") {
     seed(static_cast<std::uint64_t>(parse_int_value(key, value)));
+  } else if (key == "shards") {
+    shards(static_cast<unsigned>(parse_int_value(key, value)));
   } else {
     values_[key] = value;
   }
@@ -101,6 +103,7 @@ std::string SolverConfig::to_string() const {
   }
   if (!out.empty()) out += ',';
   out += "seed=" + std::to_string(seed_);
+  if (shards_ != 0) out += ",shards=" + std::to_string(shards_);
   return out;
 }
 

@@ -79,13 +79,21 @@ class SolverConfig {
   SolverConfig() = default;
 
   /// Parse a `k1=v1,k2=v2` list (util/options kv grammar); the reserved
-  /// key `seed` sets the seed directly.
+  /// keys `seed` and `shards` set those knobs directly.
   static SolverConfig parse(const std::string& spec);
 
   SolverConfig& set(const std::string& key, const std::string& value);
   SolverConfig& seed(std::uint64_t s) noexcept {
     seed_ = s;
     seed_set_ = true;
+    return *this;
+  }
+  /// Shard count for the round engine: 0 = auto (size to the detected
+  /// L2 cache), 1 = single-shard, k = at most k shards. Universal like
+  /// seed/pool — every engine-backed solver forwards it to
+  /// SyncNetwork::set_shards; results are bit-identical for any value.
+  SolverConfig& shards(unsigned s) noexcept {
+    shards_ = s;
     return *this;
   }
   /// True once the seed was set explicitly (via seed(), set("seed",..),
@@ -104,6 +112,7 @@ class SolverConfig {
   bool get_bool(const std::string& key, bool fallback) const;
 
   std::uint64_t seed() const noexcept { return seed_; }
+  unsigned shards() const noexcept { return shards_; }
   ThreadPool* pool() const noexcept { return pool_; }
   const std::map<std::string, std::string>& entries() const noexcept {
     return values_;
@@ -116,6 +125,7 @@ class SolverConfig {
   std::map<std::string, std::string> values_;
   std::uint64_t seed_ = 1;
   bool seed_set_ = false;
+  unsigned shards_ = 0;  // 0 = auto-size to the L2 cache
   ThreadPool* pool_ = nullptr;
 };
 

@@ -146,6 +146,7 @@ void register_core(SolverRegistry& reg) {
         o.seed = cfg.seed();
         o.max_phases = static_cast<std::uint64_t>(cfg.get_int("max_phases", 0));
         o.pool = cfg.pool();
+        o.shards = cfg.shards();
         auto res = israeli_itai(inst.graph(), o);
         return make_result(std::move(res.matching), res.stats, res.converged);
       });
@@ -169,6 +170,7 @@ void register_core(SolverRegistry& reg) {
         o.use_abi_mis = cfg.get_bool("use_abi_mis", false);
         o.check_invariants = cfg.get_bool("check_invariants", false);
         o.pool = cfg.pool();
+        o.shards = cfg.shards();
         auto res = generic_mcm(inst.graph(), o);
         SolveResult out = make_result(std::move(res.matching), res.stats);
         out.metrics["phases"] = static_cast<double>(res.phases.size());
@@ -195,6 +197,7 @@ void register_core(SolverRegistry& reg) {
         o.max_iterations_per_phase = static_cast<std::uint64_t>(
             cfg.get_int("max_iterations_per_phase", 0));
         o.pool = cfg.pool();
+        o.shards = cfg.shards();
         auto res = bipartite_mcm(inst.graph(), side, o);
         SolveResult out =
             make_result(std::move(res.matching), res.stats, res.converged);
@@ -247,6 +250,7 @@ void register_core(SolverRegistry& reg) {
         o.max_aug_iterations =
             static_cast<std::uint64_t>(cfg.get_int("max_aug_iterations", 0));
         o.pool = cfg.pool();
+        o.shards = cfg.shards();
         auto res = general_mcm(inst.graph(), o);
         // Converged = the adaptive exit fired or the full analysis
         // budget ran; an explicit max_iterations below the paper
@@ -274,6 +278,7 @@ void register_core(SolverRegistry& reg) {
         HoepmanOptions o;
         o.max_rounds = static_cast<std::uint64_t>(cfg.get_int("max_rounds", 0));
         o.pool = cfg.pool();
+        o.shards = cfg.shards();
         auto res = hoepman_mwm(inst.weighted_graph(), o);
         return make_result(std::move(res.matching), res.stats, res.converged);
       });
@@ -293,6 +298,7 @@ void register_core(SolverRegistry& reg) {
         o.max_phases_per_class = static_cast<std::uint64_t>(
             cfg.get_int("max_phases_per_class", 0));
         o.pool = cfg.pool();
+        o.shards = cfg.shards();
         auto res = class_mwm(inst.weighted_graph(), o);
         SolveResult out =
             make_result(std::move(res.matching), res.stats, res.converged);
@@ -318,7 +324,7 @@ void register_core(SolverRegistry& reg) {
         o.seed = cfg.seed();
         const std::string box = cfg.get("black_box", "class");
         if (box == "class") {
-          o.black_box = class_mwm_black_box(cfg.pool());
+          o.black_box = class_mwm_black_box(cfg.pool(), cfg.shards());
         } else if (box == "greedy") {
           o.black_box = greedy_black_box();
         } else {
@@ -328,6 +334,7 @@ void register_core(SolverRegistry& reg) {
         o.max_iterations =
             static_cast<std::uint64_t>(cfg.get_int("max_iterations", 0));
         o.pool = cfg.pool();
+        o.shards = cfg.shards();
         auto res = weighted_mwm(inst.weighted_graph(), o);
         // Lemma 4.3's iteration budget; an explicit cap below it makes
         // the run truncated, not converged.
@@ -365,7 +372,9 @@ void register_core(SolverRegistry& reg) {
         for (NodeId v = 0; v < g.num_nodes(); ++v) {
           values[v] = BigCounter(g.degree(v));
         }
-        auto res = pipelined_max(g, root, values, chunk_bits, cfg.pool());
+        auto res =
+            pipelined_max(g, root, values, chunk_bits, cfg.pool(),
+                          cfg.shards());
         SolveResult out = make_result(Matching(g.num_nodes()), res.stats);
         out.metrics["maximum"] = res.maximum.to_double();
         out.metrics["tree_depth"] = static_cast<double>(res.tree_depth);

@@ -30,7 +30,7 @@ CountingResult count_augmenting_paths(const Graph& g,
                                       const std::vector<std::uint8_t>& side,
                                       const Matching& m, int max_len,
                                       const std::vector<char>& active_edges,
-                                      ThreadPool* pool) {
+                                      ThreadPool* pool, unsigned shards) {
   const NodeId n = g.num_nodes();
   if (side.size() != n) {
     throw std::invalid_argument("count_augmenting_paths: side size");
@@ -50,6 +50,7 @@ CountingResult count_augmenting_paths(const Graph& g,
 
   CountNet net(g, /*seed=*/0, CountBits{});
   net.set_thread_pool(pool);
+  net.set_shards(shards);
 
   // The BFS is message-driven: free X nodes launch in round 0 (everyone
   // is stepped by the initial-activation default, non-sources return

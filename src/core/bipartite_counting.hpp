@@ -51,7 +51,8 @@ CountingResult count_augmenting_paths(const Graph& g,
                                       const std::vector<std::uint8_t>& side,
                                       const Matching& m, int max_len,
                                       const std::vector<char>& active_edges,
-                                      ThreadPool* pool = nullptr);
+                                      ThreadPool* pool = nullptr,
+                                      unsigned shards = 0);
 
 /// Brute-force oracle: the number of augmenting paths of length exactly
 /// `len` w.r.t. m ending at free Y node `y`, restricted to active edges.

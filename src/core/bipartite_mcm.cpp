@@ -94,7 +94,8 @@ AugResult bipartite_aug(const Graph& g, const std::vector<std::uint8_t>& side,
   for (std::uint64_t iter = 0; iter < max_iterations; ++iter) {
     // --- Phase 1: Algorithm 3 counting. ---
     CountingResult counting =
-        count_augmenting_paths(g, side, m, l, active_edges, opts.pool);
+        count_augmenting_paths(g, side, m, l, active_edges, opts.pool,
+                               opts.shards);
     result.stats.merge(counting.stats);
     ++result.iterations;
 
@@ -118,6 +119,7 @@ AugResult bipartite_aug(const Graph& g, const std::vector<std::uint8_t>& side,
     TokenNet net(g, splitmix64(opts.seed ^ (iter * 0x9e3779b97f4a7c15ULL)),
                  TokenBits{id_bits});
     net.set_thread_pool(opts.pool);
+    net.set_shards(opts.shards);
 
     const std::uint64_t token_rounds = static_cast<std::uint64_t>(l);
     const std::uint64_t traceback_start = token_rounds + 1;
@@ -282,6 +284,7 @@ BipartiteMcmResult bipartite_mcm(const Graph& g,
     aug_opts.seed = splitmix64(opts.seed ^ (0xb1ca00 + l));
     aug_opts.max_iterations = opts.max_iterations_per_phase;
     aug_opts.pool = opts.pool;
+    aug_opts.shards = opts.shards;
     AugResult aug = bipartite_aug(g, side, result.matching, l, {}, aug_opts);
     result.stats.merge(aug.stats);
     result.phases.push_back({l, aug.iterations, aug.paths_applied});

@@ -41,6 +41,9 @@ struct AugOptions {
   /// graph size bound n * Delta^{(l+1)/2}).
   std::uint64_t max_iterations = 0;
   ThreadPool* pool = nullptr;
+  /// Round-engine shard count (0 = auto, 1 = single shard); forwarded
+  /// to every SyncNetwork this solver runs. Bit-identical for any value.
+  unsigned shards = 0;
 };
 
 struct AugResult {
@@ -63,6 +66,9 @@ struct BipartiteMcmOptions {
   std::uint64_t seed = 1;
   std::uint64_t max_iterations_per_phase = 0;
   ThreadPool* pool = nullptr;
+  /// Round-engine shard count (0 = auto, 1 = single shard); forwarded
+  /// to every SyncNetwork this solver runs. Bit-identical for any value.
+  unsigned shards = 0;
 };
 
 struct BipartitePhaseInfo {

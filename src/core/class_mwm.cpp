@@ -53,6 +53,7 @@ ClassMwmResult class_mwm(const WeightedGraph& wg,
     ii.max_phases = opts.max_phases_per_class;
     ii.active_edges = std::move(mask);
     ii.pool = opts.pool;
+    ii.shards = opts.shards;
     DistMatchingResult mm = israeli_itai(g, ii);
     result.converged = result.converged && mm.converged;
     class_matchings[c] = mm.matching.edge_ids(g);

@@ -8,7 +8,8 @@
 namespace lps {
 
 std::vector<double> gain_weights(const WeightedGraph& wg, const Matching& m,
-                                 NetStats* stats, ThreadPool* pool) {
+                                 NetStats* stats, ThreadPool* pool,
+                                 unsigned shards) {
   const Graph& g = wg.graph;
   std::vector<double> gains(g.num_edges(), 0.0);
 
@@ -25,6 +26,7 @@ std::vector<double> gain_weights(const WeightedGraph& wg, const Matching& m,
     using WeightNet = SyncNetwork<WeightMsg, WeightBits>;
     WeightNet net(g, 0, WeightBits{});
     net.set_thread_pool(pool);
+    net.set_shards(shards);
     auto step = [&](WeightNet::Ctx& ctx) {
       const NodeId v = ctx.id();
       if (ctx.round() == 0 && !m.is_free(v)) {

@@ -21,7 +21,8 @@ namespace lps {
 /// and accounted there (each endpoint then computes w_M locally).
 std::vector<double> gain_weights(const WeightedGraph& wg, const Matching& m,
                                  NetStats* stats = nullptr,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 unsigned shards = 0);
 
 /// wrap(e) w.r.t. m: e plus the matched edges at its endpoints.
 /// Requires e unmatched (checked).

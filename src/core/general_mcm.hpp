@@ -38,6 +38,9 @@ struct GeneralMcmOptions {
 
   std::uint64_t max_aug_iterations = 0;
   ThreadPool* pool = nullptr;
+  /// Round-engine shard count (0 = auto, 1 = single shard); forwarded
+  /// to every SyncNetwork this solver runs. Bit-identical for any value.
+  unsigned shards = 0;
 };
 
 struct GeneralMcmResult {

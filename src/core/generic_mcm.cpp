@@ -23,7 +23,7 @@ GenericMcmResult generic_mcm(const Graph& g, const GenericMcmOptions& opts) {
 
   for (int l = 1; l <= 2 * k - 1; l += 2) {
     // Step 4 (Algorithm 2): gather radius-2l views.
-    BallViews views = collect_balls(g, result.matching, 2 * l, opts.pool);
+    BallViews views = collect_balls(g, result.matching, 2 * l, opts.pool, opts.shards);
     result.stats.merge(views.stats);
 
     // Conflict graph C_M(l) from the per-leader enumerations.
@@ -41,6 +41,7 @@ GenericMcmResult generic_mcm(const Graph& g, const GenericMcmOptions& opts) {
       MisOptions mis_opts;
       mis_opts.seed = splitmix64(opts.seed ^ (0x9e37u + l));
       mis_opts.pool = opts.pool;
+      mis_opts.shards = opts.shards;
       MisResult mis = opts.use_abi_mis ? abi_mis(cg.conflict, mis_opts)
                                        : luby_mis(cg.conflict, mis_opts);
       if (!mis.converged) {

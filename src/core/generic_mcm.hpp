@@ -33,6 +33,9 @@ struct GenericMcmOptions {
   /// [1] — the two options the paper's Lemma 3.3 proof names.
   bool use_abi_mis = false;
   ThreadPool* pool = nullptr;
+  /// Round-engine shard count (0 = auto, 1 = single shard); forwarded
+  /// to every SyncNetwork this solver runs. Bit-identical for any value.
+  unsigned shards = 0;
   /// If true, assert the Lemma 3.4 invariant after every phase using the
   /// exact bounded-path oracle (test mode; exponential in l).
   bool check_invariants = false;

@@ -77,6 +77,7 @@ DistMatchingResult israeli_itai(const Graph& g,
 
   IiNet net(g, opts.seed, IiBits{});
   net.set_thread_pool(opts.pool);
+  net.set_shards(opts.shards);
   net.step_all_nodes(opts.step_all_nodes);
 
   const std::uint64_t max_phases = opts.max_phases != 0

@@ -36,6 +36,9 @@ struct IsraeliItaiOptions {
   /// count as already matched).
   std::optional<Matching> initial;
   ThreadPool* pool = nullptr;
+  /// Round-engine shard count (0 = auto-size to the L2 cache, 1 =
+  /// single shard). Bit-identical results for any value.
+  unsigned shards = 0;
   /// Step every node every round instead of the active set (same
   /// execution bit for bit; costs O(n) per round instead of O(free
   /// nodes + traffic)). Exposed for the equivalence test.

@@ -37,6 +37,7 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
 
   MisNet net(g, opts.seed, MisBits{});
   net.set_thread_pool(opts.pool);
+  net.set_shards(opts.shards);
 
   const std::uint64_t max_phases =
       opts.max_phases != 0
@@ -129,6 +130,7 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
 
   AbiNet net(g, opts.seed, AbiBits{});
   net.set_thread_pool(opts.pool);
+  net.set_shards(opts.shards);
 
   const std::uint64_t max_phases =
       opts.max_phases != 0

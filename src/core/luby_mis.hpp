@@ -26,6 +26,9 @@ struct MisOptions {
   /// Cap on phases; 0 picks 40 + 12*ceil(log2(n+1)).
   std::uint64_t max_phases = 0;
   ThreadPool* pool = nullptr;
+  /// Round-engine shard count (0 = auto, 1 = single shard); forwarded
+  /// to every SyncNetwork this solver runs. Bit-identical for any value.
+  unsigned shards = 0;
 };
 
 struct MisResult {

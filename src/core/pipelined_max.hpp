@@ -40,6 +40,7 @@ struct PipelinedMaxResult {
 PipelinedMaxResult pipelined_max(const Graph& g, NodeId root,
                                  const std::vector<std::optional<BigCounter>>& values,
                                  int chunk_bits,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 unsigned shards = 0);
 
 }  // namespace lps

@@ -10,12 +10,13 @@
 
 namespace lps {
 
-MwmBlackBox class_mwm_black_box(ThreadPool* pool) {
-  return [pool](const WeightedGraph& wg, std::uint64_t seed,
-                NetStats* stats) {
+MwmBlackBox class_mwm_black_box(ThreadPool* pool, unsigned shards) {
+  return [pool, shards](const WeightedGraph& wg, std::uint64_t seed,
+                        NetStats* stats) {
     ClassMwmOptions opts;
     opts.seed = seed;
     opts.pool = pool;
+    opts.shards = shards;
     ClassMwmResult res = class_mwm(wg, opts);
     if (stats != nullptr) stats->merge(res.stats);
     return std::move(res.matching);
@@ -43,7 +44,8 @@ WeightedMwmResult weighted_mwm(const WeightedGraph& wg,
   }
   const Graph& g = wg.graph;
   const MwmBlackBox black_box =
-      opts.black_box ? opts.black_box : class_mwm_black_box(opts.pool);
+      opts.black_box ? opts.black_box
+                     : class_mwm_black_box(opts.pool, opts.shards);
   const std::uint64_t iterations =
       opts.max_iterations != 0
           ? opts.max_iterations
@@ -55,7 +57,8 @@ WeightedMwmResult weighted_mwm(const WeightedGraph& wg,
   for (std::uint64_t iter = 0; iter < iterations; ++iter) {
     // Line 3: G' = (V, E, w_M). One exchange round, accounted.
     const std::vector<double> gains =
-        gain_weights(wg, result.matching, &result.stats, opts.pool);
+        gain_weights(wg, result.matching, &result.stats, opts.pool,
+                     opts.shards);
 
     // Restrict to positive-gain edges: a maximum-weight matching never
     // gains from edges with w_M <= 0, and the class black box requires

@@ -14,33 +14,50 @@ void require_weight(double w, const char* who) {
                                 ": weight must be positive and finite");
   }
 }
+
+std::shared_ptr<const GraphStore> isolated_store(NodeId n) {
+  auto s = std::make_shared<GraphStore>();
+  s->n = n;
+  s->offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  return s;
+}
 }  // namespace
 
+DynamicGraph::DynamicGraph() : DynamicGraph(0) {}
+
 DynamicGraph::DynamicGraph(NodeId n)
-    : adj_(n), node_alive_(n, 1), live_nodes_(n) {}
+    : base_(isolated_store(n)),
+      node_alive_(n, 1),
+      overlay_of_(n, -1),
+      live_nodes_(n) {}
 
 DynamicGraph DynamicGraph::from_graph(const Graph& g,
                                       const std::vector<double>* weights) {
   if (weights != nullptr && weights->size() != g.num_edges()) {
     throw std::invalid_argument("DynamicGraph::from_graph: weight size");
   }
-  DynamicGraph out(g.num_nodes());
-  out.edges_.resize(g.num_edges());
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& ed = g.edge(e);
-    out.edges_[e] = {ed.u, ed.v, weights ? (*weights)[e] : 1.0, 1};
-    if (weights) require_weight((*weights)[e], "DynamicGraph::from_graph");
-  }
-  out.live_edges_ = g.num_edges();
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const auto nbrs = g.neighbors(v);
-    out.adj_[v].reserve(nbrs.size());
-    // Graph's incidence lists are already sorted by neighbor id, so the
-    // dynamic invariant holds by construction.
-    for (const Graph::Incidence& inc : nbrs) {
-      out.adj_[v].push_back({inc.to, inc.edge});
+  if (weights != nullptr) {
+    for (double w : *weights) {
+      require_weight(w, "DynamicGraph::from_graph");
     }
   }
+  DynamicGraph out;
+  out.base_ = g.store_ptr();  // zero-copy: the overlay reads g's columns
+  const GraphStore& s = *out.base_;
+  out.node_alive_.assign(s.n, 1);
+  out.overlay_of_.assign(s.n, -1);
+  out.live_nodes_ = s.n;
+  const EdgeId m = s.num_edges();
+  out.edge_u_ = s.edge_u;
+  out.edge_v_ = s.edge_v;
+  out.edge_w_.assign(m, 1.0);
+  if (weights != nullptr) {
+    out.edge_w_ = *weights;
+  } else if (!s.edge_weight.empty()) {
+    out.edge_w_ = s.edge_weight;
+  }
+  out.edge_alive_.assign(m, 1);
+  out.live_edges_ = m;
   return out;
 }
 
@@ -60,62 +77,86 @@ void DynamicGraph::require_live_edge(EdgeId e, const char* who) const {
 
 Edge DynamicGraph::edge(EdgeId e) const {
   require_live_edge(e, "DynamicGraph::edge");
-  return {edges_[e].u, edges_[e].v};
+  return {edge_u_[e], edge_v_[e]};
 }
 
 double DynamicGraph::weight(EdgeId e) const {
   require_live_edge(e, "DynamicGraph::weight");
-  return edges_[e].weight;
+  return edge_w_[e];
 }
 
 NodeId DynamicGraph::other_endpoint(EdgeId e, NodeId v) const {
   require_live_edge(e, "DynamicGraph::other_endpoint");
-  return edges_[e].u == v ? edges_[e].v : edges_[e].u;
+  return edge_u_[e] == v ? edge_v_[e] : edge_u_[e];
 }
 
 EdgeId DynamicGraph::find_edge(NodeId u, NodeId v) const {
   if (!node_alive(u) || !node_alive(v)) return kInvalidEdge;
   if (degree(u) > degree(v)) std::swap(u, v);
-  const auto& nbrs = adj_[u];
-  const auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), v,
-      [](const Arc& a, NodeId target) { return a.to < target; });
-  if (it != nbrs.end() && it->to == v) return it->edge;
+  const NeighborView nbrs = neighbors(u);
+  const NodeId* begin = nbrs.to_data();
+  const NodeId* end = begin + nbrs.size();
+  const NodeId* it = std::lower_bound(begin, end, v);
+  if (it != end && *it == v) {
+    return nbrs.edge_data()[it - begin];
+  }
   return kInvalidEdge;
 }
 
 NodeId DynamicGraph::add_vertex() {
-  adj_.emplace_back();
   node_alive_.push_back(1);
+  // New vertices have no base row; give them an (empty) overlay row so
+  // neighbors() never indexes past the base offsets array.
+  overlay_of_.push_back(static_cast<std::int32_t>(overlay_.size()));
+  overlay_.emplace_back();
+  overlay_live_ = overlay_.size();
   ++live_nodes_;
-  return static_cast<NodeId>(adj_.size() - 1);
+  pristine_ = false;
+  return static_cast<NodeId>(node_alive_.size() - 1);
 }
 
 void DynamicGraph::remove_vertex(NodeId v) {
   require_live_node(v, "DynamicGraph::remove_vertex");
-  // Snapshot the incident edge ids first: delete_edge mutates adj_[v].
+  // Snapshot the incident edge ids first: delete_edge mutates v's row.
   std::vector<EdgeId> incident;
-  incident.reserve(adj_[v].size());
-  for (const Arc& a : adj_[v]) incident.push_back(a.edge);
+  const NeighborView nbrs = neighbors(v);
+  incident.reserve(nbrs.size());
+  for (const Arc& a : nbrs) incident.push_back(a.edge);
   for (EdgeId e : incident) delete_edge(e);
   node_alive_[v] = 0;
   --live_nodes_;
+  pristine_ = false;
 }
 
-void DynamicGraph::arc_insert(NodeId v, Arc a) {
-  auto& nbrs = adj_[v];
-  const auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), a.to,
-      [](const Arc& x, NodeId target) { return x.to < target; });
-  nbrs.insert(it, a);
+std::int32_t DynamicGraph::materialize(NodeId v) {
+  std::int32_t ov = overlay_of_[v];
+  if (ov >= 0) return ov;
+  ov = static_cast<std::int32_t>(overlay_.size());
+  overlay_.emplace_back();
+  OverlayRow& row = overlay_.back();
+  const NeighborView base_row = base_->row(v);
+  row.to.assign(base_row.to_data(), base_row.to_data() + base_row.size());
+  row.edge.assign(base_row.edge_data(),
+                  base_row.edge_data() + base_row.size());
+  overlay_of_[v] = ov;
+  overlay_live_ = overlay_.size();
+  return ov;
+}
+
+void DynamicGraph::arc_insert(NodeId v, NodeId to, EdgeId e) {
+  OverlayRow& row = overlay_[materialize(v)];
+  const auto it = std::lower_bound(row.to.begin(), row.to.end(), to);
+  const std::size_t pos = static_cast<std::size_t>(it - row.to.begin());
+  row.to.insert(it, to);
+  row.edge.insert(row.edge.begin() + static_cast<std::ptrdiff_t>(pos), e);
 }
 
 void DynamicGraph::arc_erase(NodeId v, NodeId to) {
-  auto& nbrs = adj_[v];
-  const auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), to,
-      [](const Arc& x, NodeId target) { return x.to < target; });
-  nbrs.erase(it);
+  OverlayRow& row = overlay_[materialize(v)];
+  const auto it = std::lower_bound(row.to.begin(), row.to.end(), to);
+  const std::size_t pos = static_cast<std::size_t>(it - row.to.begin());
+  row.to.erase(it);
+  row.edge.erase(row.edge.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
 EdgeId DynamicGraph::insert_edge(NodeId u, NodeId v, double w) {
@@ -136,37 +177,62 @@ EdgeId DynamicGraph::insert_edge(NodeId u, NodeId v, double w) {
     id = free_edges_.back();
     free_edges_.pop_back();
   } else {
-    id = static_cast<EdgeId>(edges_.size());
-    edges_.emplace_back();
+    id = static_cast<EdgeId>(edge_u_.size());
+    edge_u_.emplace_back();
+    edge_v_.emplace_back();
+    edge_w_.emplace_back();
+    edge_alive_.emplace_back();
   }
-  edges_[id] = {u, v, w, 1};
-  arc_insert(u, {v, id});
-  arc_insert(v, {u, id});
+  edge_u_[id] = u;
+  edge_v_[id] = v;
+  edge_w_[id] = w;
+  edge_alive_[id] = 1;
+  arc_insert(u, v, id);
+  arc_insert(v, u, id);
   ++live_edges_;
+  pristine_ = false;
   return id;
 }
 
 void DynamicGraph::delete_edge(EdgeId e) {
   require_live_edge(e, "DynamicGraph::delete_edge");
-  const EdgeRec rec = edges_[e];
-  arc_erase(rec.u, rec.v);
-  arc_erase(rec.v, rec.u);
-  edges_[e].alive = 0;
+  const NodeId u = edge_u_[e];
+  const NodeId v = edge_v_[e];
+  arc_erase(u, v);
+  arc_erase(v, u);
+  edge_alive_[e] = 0;
   free_edges_.push_back(e);
   --live_edges_;
+  pristine_ = false;
 }
 
 void DynamicGraph::set_weight(EdgeId e, double w) {
   require_live_edge(e, "DynamicGraph::set_weight");
   require_weight(w, "DynamicGraph::set_weight");
-  edges_[e].weight = w;
+  edge_w_[e] = w;
 }
 
 Snapshot DynamicGraph::snapshot() const {
   Snapshot out;
-  out.dynamic_to_node.assign(adj_.size(), kInvalidNode);
+  const NodeId slots = node_slots();
+  if (structurally_pristine()) {
+    // Zero-copy bridge: the registry reads the very columns we overlay.
+    out.graph = Graph(base_);
+    out.shared_store = true;
+    out.weights = edge_w_;
+    out.node_to_dynamic.resize(slots);
+    out.dynamic_to_node.resize(slots);
+    for (NodeId v = 0; v < slots; ++v) {
+      out.node_to_dynamic[v] = v;
+      out.dynamic_to_node[v] = v;
+    }
+    out.edge_to_dynamic.resize(live_edges_);
+    for (EdgeId e = 0; e < live_edges_; ++e) out.edge_to_dynamic[e] = e;
+    return out;
+  }
+  out.dynamic_to_node.assign(slots, kInvalidNode);
   out.node_to_dynamic.reserve(live_nodes_);
-  for (NodeId v = 0; v < adj_.size(); ++v) {
+  for (NodeId v = 0; v < slots; ++v) {
     if (!node_alive_[v]) continue;
     out.dynamic_to_node[v] = static_cast<NodeId>(out.node_to_dynamic.size());
     out.node_to_dynamic.push_back(v);
@@ -175,61 +241,103 @@ Snapshot DynamicGraph::snapshot() const {
   edges.reserve(live_edges_);
   out.edge_to_dynamic.reserve(live_edges_);
   out.weights.reserve(live_edges_);
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    if (!edges_[e].alive) continue;
+  for (EdgeId e = 0; e < edge_u_.size(); ++e) {
+    if (!edge_alive_[e]) continue;
     edges.push_back(
-        {out.dynamic_to_node[edges_[e].u], out.dynamic_to_node[edges_[e].v]});
+        {out.dynamic_to_node[edge_u_[e]], out.dynamic_to_node[edge_v_[e]]});
     out.edge_to_dynamic.push_back(e);
-    out.weights.push_back(edges_[e].weight);
+    out.weights.push_back(edge_w_[e]);
   }
   out.graph = Graph(static_cast<NodeId>(out.node_to_dynamic.size()),
                     std::move(edges));
   return out;
 }
 
+void DynamicGraph::compact() {
+  const NodeId slots = node_slots();
+  auto fresh = std::make_shared<GraphStore>();
+  fresh->n = slots;
+  fresh->offsets.assign(static_cast<std::size_t>(slots) + 1, 0);
+  for (NodeId v = 0; v < slots; ++v) {
+    fresh->offsets[v + 1] = fresh->offsets[v] + degree(v);
+  }
+  const std::size_t arcs = fresh->offsets[slots];
+  fresh->adj_to.resize(arcs);
+  fresh->adj_edge.resize(arcs);
+  for (NodeId v = 0; v < slots; ++v) {
+    const NeighborView row = neighbors(v);
+    std::copy(row.to_data(), row.to_data() + row.size(),
+              fresh->adj_to.data() + fresh->offsets[v]);
+    std::copy(row.edge_data(), row.edge_data() + row.size(),
+              fresh->adj_edge.data() + fresh->offsets[v]);
+    fresh->max_degree =
+        std::max(fresh->max_degree, static_cast<NodeId>(row.size()));
+  }
+  base_ = std::move(fresh);
+  overlay_.clear();
+  overlay_live_ = 0;
+  overlay_of_.assign(slots, -1);
+}
+
 void DynamicGraph::check_invariants() const {
   const auto fail = [](const std::string& what) {
     throw std::logic_error("DynamicGraph::check_invariants: " + what);
   };
-  if (adj_.size() != node_alive_.size()) fail("node table sizes");
+  const NodeId slots = node_slots();
+  if (overlay_of_.size() != slots) fail("overlay map size");
+  if (edge_u_.size() != edge_v_.size() || edge_u_.size() != edge_w_.size() ||
+      edge_u_.size() != edge_alive_.size()) {
+    fail("edge column sizes");
+  }
+  if (overlay_live_ != overlay_.size()) fail("overlay row count");
   NodeId live_n = 0;
   std::size_t arc_count = 0;
-  for (NodeId v = 0; v < adj_.size(); ++v) {
+  for (NodeId v = 0; v < slots; ++v) {
+    const std::int32_t ov = overlay_of_[v];
+    if (ov >= 0 && static_cast<std::size_t>(ov) >= overlay_.size()) {
+      fail("overlay index out of range for node " + std::to_string(v));
+    }
+    if (ov >= 0 && overlay_[ov].to.size() != overlay_[ov].edge.size()) {
+      fail("overlay columns of node " + std::to_string(v) + " disagree");
+    }
     if (node_alive_[v]) ++live_n;
-    if (!node_alive_[v] && !adj_[v].empty()) {
+    const NeighborView nbrs = neighbors(v);
+    if (!node_alive_[v] && !nbrs.empty()) {
       fail("dead node " + std::to_string(v) + " has arcs");
     }
-    arc_count += adj_[v].size();
-    for (std::size_t i = 0; i < adj_[v].size(); ++i) {
-      const Arc& a = adj_[v][i];
-      if (i > 0 && adj_[v][i - 1].to >= a.to) {
+    arc_count += nbrs.size();
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Arc a = nbrs[i];
+      if (i > 0 && nbrs[i - 1].to >= a.to) {
         fail("incidence of node " + std::to_string(v) + " not sorted");
       }
-      if (a.edge >= edges_.size() || !edges_[a.edge].alive) {
+      if (a.edge >= edge_u_.size() || !edge_alive_[a.edge]) {
         fail("arc to dead edge " + std::to_string(a.edge));
       }
-      const EdgeRec& rec = edges_[a.edge];
-      const NodeId expect_to = rec.u == v ? rec.v : rec.u;
-      if ((rec.u != v && rec.v != v) || expect_to != a.to) {
+      const NodeId eu = edge_u_[a.edge];
+      const NodeId ev = edge_v_[a.edge];
+      const NodeId expect_to = eu == v ? ev : eu;
+      if ((eu != v && ev != v) || expect_to != a.to) {
         fail("arc/edge endpoint mismatch at edge " + std::to_string(a.edge));
       }
     }
   }
   if (live_n != live_nodes_) fail("live node count");
   EdgeId live_m = 0;
-  for (EdgeId e = 0; e < edges_.size(); ++e) {
-    if (!edges_[e].alive) continue;
+  for (EdgeId e = 0; e < edge_u_.size(); ++e) {
+    if (!edge_alive_[e]) continue;
     ++live_m;
-    const EdgeRec& rec = edges_[e];
-    if (rec.u >= rec.v) fail("edge " + std::to_string(e) + " not normalized");
-    if (!node_alive(rec.u) || !node_alive(rec.v)) {
+    if (edge_u_[e] >= edge_v_[e]) {
+      fail("edge " + std::to_string(e) + " not normalized");
+    }
+    if (!node_alive(edge_u_[e]) || !node_alive(edge_v_[e])) {
       fail("edge " + std::to_string(e) + " touches a dead node");
     }
-    if (!(rec.weight > 0.0) || !std::isfinite(rec.weight)) {
+    if (!(edge_w_[e] > 0.0) || !std::isfinite(edge_w_[e])) {
       fail("edge " + std::to_string(e) + " has a bad weight");
     }
     // The mirror arcs must both exist and name this edge.
-    if (find_edge(rec.u, rec.v) != e) {
+    if (find_edge(edge_u_[e], edge_v_[e]) != e) {
       fail("find_edge misses edge " + std::to_string(e));
     }
   }
@@ -237,7 +345,7 @@ void DynamicGraph::check_invariants() const {
   if (arc_count != 2 * static_cast<std::size_t>(live_edges_)) {
     fail("arc count != 2 * live edges");
   }
-  if (free_edges_.size() != edges_.size() - live_edges_) {
+  if (free_edges_.size() != edge_u_.size() - live_edges_) {
     fail("free list size");
   }
 }

@@ -3,76 +3,26 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace lps {
 
-namespace {
-std::uint64_t edge_key(const Edge& e) {
-  return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
-}
-}  // namespace
-
-Graph::Graph(NodeId n, std::vector<Edge> edges)
-    : n_(n), edges_(std::move(edges)) {
-  std::unordered_set<std::uint64_t> seen;
-  seen.reserve(edges_.size() * 2);
-  for (Edge& e : edges_) {
-    if (e.u >= n_ || e.v >= n_) {
-      throw std::invalid_argument("Graph: endpoint out of range");
-    }
-    if (e.u == e.v) throw std::invalid_argument("Graph: self-loop");
-    if (e.u > e.v) std::swap(e.u, e.v);
-    if (!seen.insert(edge_key(e)).second) {
-      throw std::invalid_argument("Graph: duplicate edge");
-    }
-  }
-  offsets_.assign(n_ + 1, 0);
-  for (const Edge& e : edges_) {
-    ++offsets_[e.u + 1];
-    ++offsets_[e.v + 1];
-  }
-  for (NodeId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
-  adj_.resize(edges_.size() * 2);
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
-  for (EdgeId id = 0; id < edges_.size(); ++id) {
-    const Edge& e = edges_[id];
-    adj_[cursor[e.u]++] = {e.v, id};
-    adj_[cursor[e.v]++] = {e.u, id};
-  }
-  // Establish the sorted-incidence invariant (see Incidence in the
-  // header): neighbors ascending within each vertex's list. Lex-sorted
-  // edge input already satisfies it, so this is usually a no-op pass.
-  for (NodeId v = 0; v < n_; ++v) {
-    auto* begin = adj_.data() + offsets_[v];
-    auto* end = adj_.data() + offsets_[v + 1];
-    if (!std::is_sorted(begin, end, [](const Incidence& a, const Incidence& b) {
-          return a.to < b.to;
-        })) {
-      std::sort(begin, end, [](const Incidence& a, const Incidence& b) {
-        return a.to < b.to;
-      });
-    }
-  }
-  for (NodeId v = 0; v < n_; ++v) {
-    max_degree_ = std::max(max_degree_, degree(v));
-  }
-}
-
 EdgeId Graph::find_edge(NodeId u, NodeId v) const {
   if (degree(u) > degree(v)) std::swap(u, v);
-  const auto nbrs = neighbors(u);
-  const auto it = std::lower_bound(
-      nbrs.begin(), nbrs.end(), v,
-      [](const Incidence& inc, NodeId target) { return inc.to < target; });
-  if (it != nbrs.end() && it->to == v) return it->edge;
+  const GraphStore& s = *store_;
+  const NodeId* begin = s.adj_to.data() + s.offsets[u];
+  const NodeId* end = s.adj_to.data() + s.offsets[u + 1];
+  const NodeId* it = std::lower_bound(begin, end, v);
+  if (it != end && *it == v) {
+    return s.adj_edge[s.offsets[u] + static_cast<std::size_t>(it - begin)];
+  }
   return kInvalidEdge;
 }
 
 std::optional<std::vector<std::uint8_t>> Graph::bipartition() const {
-  std::vector<std::uint8_t> side(n_, 2);  // 2 == unvisited
+  const NodeId n = num_nodes();
+  std::vector<std::uint8_t> side(n, 2);  // 2 == unvisited
   std::vector<NodeId> stack;
-  for (NodeId root = 0; root < n_; ++root) {
+  for (NodeId root = 0; root < n; ++root) {
     if (side[root] != 2) continue;
     side[root] = 0;
     stack.push_back(root);
@@ -93,10 +43,11 @@ std::optional<std::vector<std::uint8_t>> Graph::bipartition() const {
 }
 
 std::vector<NodeId> Graph::components() const {
-  std::vector<NodeId> comp(n_, kInvalidNode);
+  const NodeId n = num_nodes();
+  std::vector<NodeId> comp(n, kInvalidNode);
   std::vector<NodeId> stack;
   NodeId next = 0;
-  for (NodeId root = 0; root < n_; ++root) {
+  for (NodeId root = 0; root < n; ++root) {
     if (comp[root] != kInvalidNode) continue;
     comp[root] = next;
     stack.push_back(root);
@@ -148,7 +99,7 @@ Subgraph induced_subgraph(const Graph& g, const std::vector<char>& keep_node,
   std::vector<Edge> edges;
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (!all_edges && !keep_edge[e]) continue;
-    const Edge& ed = g.edge(e);
+    const Edge ed = g.edge(e);
     const NodeId nu = out.parent_to_node[ed.u];
     const NodeId nv = out.parent_to_node[ed.v];
     if (nu == kInvalidNode || nv == kInvalidNode) continue;

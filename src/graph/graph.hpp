@@ -1,30 +1,25 @@
-// Core graph representation: compact CSR adjacency for undirected graphs,
-// with stable edge identifiers shared by matchings, weights and the
-// distributed runtime (an edge id doubles as a communication channel id).
+// Core graph representation: a thin immutable view over the shared
+// columnar GraphStore (storage.hpp) — flat CSR adjacency with stable
+// edge identifiers shared by matchings, weights and the distributed
+// runtime (an edge id doubles as a communication channel id).
+//
+// A Graph is a shared_ptr to its store, so copies are refcount bumps
+// and a DynamicGraph snapshot can hand solvers the very arrays the
+// overlay reads (DESIGN.md §11). All the old call-site idioms keep
+// working: `for (const Graph::Incidence& inc : g.neighbors(v))`
+// iterates the columnar rows through a zip view.
 #pragma once
 
-#include <cstdint>
+#include <memory>
 #include <optional>
-#include <span>
 #include <string>
 #include <vector>
 
+#include "graph/storage.hpp"
+
 namespace lps {
 
-using NodeId = std::uint32_t;
-using EdgeId = std::uint32_t;
-
-inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
-inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
-
-/// Undirected edge; stored with u < v (normalized on construction).
-struct Edge {
-  NodeId u = kInvalidNode;
-  NodeId v = kInvalidNode;
-  friend bool operator==(const Edge&, const Edge&) = default;
-};
-
-/// Immutable undirected graph in CSR form.
+/// Immutable undirected graph over columnar CSR storage.
 ///
 /// Self-loops and parallel edges are rejected: the matching algorithms
 /// and the message model both assume simple graphs (as does the paper).
@@ -37,44 +32,42 @@ class Graph {
   /// may rely on this for binary search (find_edge) and for canonical
   /// per-neighbor iteration order; slot indices into neighbors(v) are
   /// stable for the lifetime of the Graph.
-  struct Incidence {
-    NodeId to;
-    EdgeId edge;
-  };
+  using Incidence = lps::Incidence;
 
-  Graph() = default;
+  Graph() : store_(GraphStore::empty()) {}
 
   /// Build from an edge list; endpoints are normalized to u < v.
   /// Throws std::invalid_argument on self-loops, duplicate edges, or
   /// endpoints >= n.
-  Graph(NodeId n, std::vector<Edge> edges);
+  Graph(NodeId n, std::vector<Edge> edges)
+      : store_(std::make_shared<const GraphStore>(
+            GraphStore::build(n, std::move(edges)))) {}
 
-  NodeId num_nodes() const noexcept { return n_; }
-  EdgeId num_edges() const noexcept {
-    return static_cast<EdgeId>(edges_.size());
-  }
+  /// Wrap an existing store (zero copy). The store must satisfy the
+  /// sorted-incidence invariant; GraphStore::build always does.
+  explicit Graph(std::shared_ptr<const GraphStore> store)
+      : store_(std::move(store)) {}
 
-  const Edge& edge(EdgeId e) const { return edges_[e]; }
-  const std::vector<Edge>& edges() const noexcept { return edges_; }
+  NodeId num_nodes() const noexcept { return store_->n; }
+  EdgeId num_edges() const noexcept { return store_->num_edges(); }
+
+  Edge edge(EdgeId e) const { return store_->edge(e); }
+  EdgeListView edges() const noexcept { return store_->edge_list(); }
 
   /// The endpoint of `e` that is not `v`; requires v to be an endpoint.
   NodeId other_endpoint(EdgeId e, NodeId v) const {
-    const Edge& ed = edges_[e];
-    return ed.u == v ? ed.v : ed.u;
+    const NodeId u = store_->edge_u[e];
+    return u == v ? store_->edge_v[e] : u;
   }
 
-  std::span<const Incidence> neighbors(NodeId v) const {
-    return {adj_.data() + offsets_[v], adj_.data() + offsets_[v + 1]};
-  }
+  NeighborView neighbors(NodeId v) const { return store_->row(v); }
 
-  NodeId degree(NodeId v) const {
-    return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
-  }
+  NodeId degree(NodeId v) const { return store_->degree(v); }
 
-  NodeId max_degree() const noexcept { return max_degree_; }
+  NodeId max_degree() const noexcept { return store_->max_degree; }
 
   /// Edge id connecting u and v, or kInvalidEdge. Binary search over the
-  /// smaller endpoint's sorted incidence list: O(log min degree).
+  /// smaller endpoint's sorted neighbor column: O(log min degree).
   EdgeId find_edge(NodeId u, NodeId v) const;
 
   /// Two-coloring if the graph is bipartite: side[v] in {0,1}; isolated
@@ -84,12 +77,15 @@ class Graph {
   /// Connected component index per vertex (0-based, by discovery order).
   std::vector<NodeId> components() const;
 
+  /// The underlying columnar store (shared with every copy of this
+  /// Graph, and with the DynamicGraph overlay when bridged zero-copy).
+  const GraphStore& store() const noexcept { return *store_; }
+  const std::shared_ptr<const GraphStore>& store_ptr() const noexcept {
+    return store_;
+  }
+
  private:
-  NodeId n_ = 0;
-  NodeId max_degree_ = 0;
-  std::vector<Edge> edges_;
-  std::vector<std::size_t> offsets_;  // n_+1
-  std::vector<Incidence> adj_;        // 2m
+  std::shared_ptr<const GraphStore> store_;
 };
 
 /// A graph plus a positive weight per edge.

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <span>
 
 #include "graph/graph.hpp"
 
@@ -25,7 +24,7 @@ class GraphAccess {
   EdgeId num_edges() const noexcept { return g_->num_edges(); }
 
   /// One probe: the endpoints of a single edge record.
-  const Edge& edge(EdgeId e) {
+  Edge edge(EdgeId e) {
     ++probes_;
     return g_->edge(e);
   }
@@ -45,8 +44,8 @@ class GraphAccess {
 
   /// degree(v) probes: the full incidence list, one probe per entry
   /// (an empty list still costs one probe to learn it is empty).
-  std::span<const Graph::Incidence> neighbors(NodeId v) {
-    const auto nbrs = g_->neighbors(v);
+  NeighborView neighbors(NodeId v) {
+    const NeighborView nbrs = g_->neighbors(v);
     probes_ += nbrs.empty() ? 1 : nbrs.size();
     return nbrs;
   }

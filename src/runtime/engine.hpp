@@ -16,29 +16,39 @@
 //    measurable quantities in `stats()`.
 //  * Per-(node, round) RNG substreams: the execution is a deterministic
 //    function of the seed, independent of node iteration order — which
-//    also makes thread-pool execution bit-identical to sequential.
+//    also makes thread-pool execution AND any shard count bit-identical
+//    to sequential single-shard execution.
 //
 // Cost model of the implementation (not of the simulated protocols): a
-// round costs O(stepped nodes + messages in flight), NOT O(n + m). Three
-// mechanisms make that true (DESIGN.md §9):
+// round costs O(stepped nodes + messages in flight), NOT O(n + m), and
+// the constant stays flat as n grows because all per-round work is
+// confined to cache-sized vertex shards (DESIGN.md §11):
 //
 //  * Epoch-stamped channels. Each directed channel (edge, direction) has
 //    a round-stamp instead of a std::optional slot; "two sends on one
 //    channel in one round" is a stamp comparison and there is no
 //    O(m) per-round reset sweep. Payloads ride in per-worker send lists
-//    sized by actual traffic.
-//  * Mailbox delivery. Send lists are counting-sorted by receiver into
-//    contiguous per-receiver inbox ranges, then each range is put into
-//    the receiver's incidence order (the same order the old full
-//    neighbors() scan produced, which protocols and the lca re-executor
-//    rely on for RNG-draw determinism). Inbox construction touches only
-//    real messages, never the whole graph.
+//    sized by actual traffic, each tagged at send time with its
+//    receiver and the receiver-side incidence position (so delivery
+//    never touches the graph).
+//  * Sharded mailbox delivery. Vertices are partitioned into contiguous
+//    power-of-two shards sized to the L2 cache (runtime/shard.hpp). A
+//    round's sends are first counting-sorted by destination shard (the
+//    boundary-exchange phase — the only pass that walks cross-shard
+//    traffic), then each shard's slice is counting-sorted by receiver
+//    and each inbox put into the receiver's incidence order. All
+//    vertex-indexed bookkeeping accesses in the second phase fall
+//    inside one shard's contiguous range, so they stay L2-resident at
+//    any graph size. Inbox construction touches only real messages,
+//    never the whole graph.
 //  * Active-set scheduling. A node is stepped in a round iff it has
 //    incoming messages, called ctx.keep_active() in the previous round,
 //    or was activated for the round (activate(); the first round
 //    defaults to every node unless restrict_initial_active() was
-//    called). Protocols whose spontaneous sends cannot be expressed this
-//    way opt out with step_all_nodes(), restoring the exact old
+//    called). Active nodes are bucketed per shard and stepped shard by
+//    shard, so node state and CSR rows are walked in shard order.
+//    Protocols whose spontaneous sends cannot be expressed this way opt
+//    out with step_all_nodes(), restoring the exact old
 //    every-node-every-round semantics. Because nodes draw from
 //    per-(node, round) substreams and an unstepped node would neither
 //    send nor mutate state, an execution under active-set scheduling is
@@ -67,6 +77,7 @@
 
 #include "graph/graph.hpp"
 #include "runtime/round_stats.hpp"
+#include "runtime/shard.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/rng.hpp"
 
@@ -139,31 +150,55 @@ class SyncNetwork {
       : graph_(&g),
         seed_(seed),
         meter_(std::move(meter)),
+        plan_(plan_shards(g.num_nodes(), /*requested=*/0)),
         slot_stamp_(2 * static_cast<std::size_t>(g.num_edges()), kNever),
         rcv_slot_(2 * static_cast<std::size_t>(g.num_edges())),
         inbox_stamp_(g.num_nodes(), kNever),
         inbox_off_(g.num_nodes()),
         inbox_cur_(g.num_nodes()),
         inbox_cnt_(g.num_nodes()),
-        active_stamp_(g.num_nodes(), kNever) {
+        active_stamp_(g.num_nodes(), kNever),
+        shard_active_(plan_.count) {
     if constexpr (std::is_same_v<Meter, BitMeter>) {
       if (!meter_) meter_ = DefaultBitMeter<M>{};
     }
-    // The channel on which neighbors(v)[i].to sends to v delivers into
-    // position i of v's inbox; precompute that position per directed
-    // channel so per-receiver mailbox ranges can be put into incidence
-    // order without scanning adjacency.
+    // Directed channels are indexed by CSR *arc*: the channel on which v
+    // sends along its i-th incidence is arc offsets[v] + i. Senders then
+    // stamp and read channel state at positions inside their own row —
+    // shard-local by construction — instead of at edge-table positions
+    // that are random relative to vertex order. Precompute, per arc
+    // v -> to, the position of v in to's row (the receiver-side
+    // incidence position: the canonical inbox sort key).
+    const GraphStore& s = g.store();
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      const auto nbrs = g.neighbors(v);
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        rcv_slot_[slot_of(nbrs[i].edge, nbrs[i].to)] =
-            static_cast<std::uint32_t>(i);
+      const std::uint64_t base = s.offsets[v];
+      const std::uint64_t end = s.offsets[v + 1];
+      for (std::uint64_t a = base; a < end; ++a) {
+        const NodeId to = s.adj_to[a];
+        // Position of v in to's (sorted) row, by binary search.
+        const NodeId* row = s.adj_to.data() + s.offsets[to];
+        const NodeId* hit =
+            std::lower_bound(row, s.adj_to.data() + s.offsets[to + 1], v);
+        rcv_slot_[a] = static_cast<std::uint32_t>(hit - row);
       }
     }
   }
 
   /// Optional: step nodes with a thread pool (nullptr = sequential).
   void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+
+  /// Repartition the vertex set: 0 = auto (cache-sized shards, the
+  /// default), 1 = the pre-shard single-partition layout, k = at most k
+  /// contiguous shards. Any value produces bit-identical executions;
+  /// callable between rounds.
+  void set_shards(unsigned requested) {
+    plan_ = plan_shards(graph_->num_nodes(), requested);
+    shard_active_.assign(plan_.count, {});
+  }
+
+  /// The number of vertex shards the mailbox and scheduler operate on.
+  unsigned shards() const noexcept { return plan_.count; }
+  const ShardPlan& shard_plan() const noexcept { return plan_; }
 
   /// Opt out of active-set scheduling: step every node every round, the
   /// exact semantics of the original engine. For protocols whose
@@ -209,13 +244,21 @@ class SyncNetwork {
       pending_activations_.clear();
     } else {
       active_.clear();
-      for (NodeId v : receivers_) mark_active(v);
+      for (std::vector<NodeId>& sa : shard_active_) sa.clear();
+      for (const std::vector<NodeId>& rs : shard_receivers_) {
+        for (NodeId v : rs) mark_active(v);
+      }
       for (PerWorker& w : workers_) {
         for (NodeId v : w.wake) mark_active(v);
         w.wake.clear();
       }
       for (NodeId v : pending_activations_) mark_active(v);
       pending_activations_.clear();
+      // Flatten in shard order: the step loop then walks node state and
+      // CSR rows one cache-sized shard at a time.
+      for (const std::vector<NodeId>& sa : shard_active_) {
+        active_.insert(active_.end(), sa.begin(), sa.end());
+      }
     }
     const std::size_t count = all ? g.num_nodes() : active_.size();
     stepped_last_round_ = count;
@@ -276,10 +319,14 @@ class SyncNetwork {
  private:
   static constexpr std::uint64_t kNever = static_cast<std::uint64_t>(-1);
 
-  /// A payload in flight, tagged with the directed channel it was sent
-  /// on. Lives in the sender's worker list until delivery.
+  /// A payload in flight. Sender-side sends are fully resolved at
+  /// enqueue time — receiver, edge, and receiver-side incidence position
+  /// ride along — so the delivery phases never consult the graph.
   struct SendRec {
-    std::uint32_t slot;
+    std::uint32_t key;  // position in the receiver's incidence list
+    NodeId from;
+    NodeId to;
+    EdgeId edge;
     M msg;
   };
 
@@ -289,6 +336,7 @@ class SyncNetwork {
   struct Delivery {
     std::uint32_t key;
     NodeId from;
+    NodeId to;
     EdgeId edge;
     M payload;
   };
@@ -301,27 +349,26 @@ class SyncNetwork {
     NetStats stats;
   };
 
-  /// Directed channel index: 2e + 1 when `sender` is edge(e).v, 2e when
-  /// it is edge(e).u.
-  std::size_t slot_of(EdgeId e, NodeId sender) const {
-    return 2 * static_cast<std::size_t>(e) +
-           (graph_->edge(e).v == sender ? 1 : 0);
-  }
-
   void enqueue(NodeId from, EdgeId e, M msg, PerWorker& w) {
-    const Edge& ed = graph_->edge(e);
-    if (ed.u != from && ed.v != from) {
+    // Resolve the arc (from, e) by scanning the sender's own row — the
+    // step function was just iterating it, so it is cache-hot, and the
+    // resulting channel index is local to the sender's shard.
+    const GraphStore& s = graph_->store();
+    const std::uint64_t base = s.offsets[from];
+    const std::uint64_t end = s.offsets[from + 1];
+    std::uint64_t arc = base;
+    while (arc < end && s.adj_edge[arc] != e) ++arc;
+    if (arc == end) {
       throw std::logic_error("SyncNetwork::send: sender not an endpoint");
     }
-    const std::size_t slot = slot_of(e, from);
-    if (slot_stamp_[slot] == round_) {
+    if (slot_stamp_[arc] == round_) {
       throw std::logic_error(
           "SyncNetwork::send: two messages on one channel in one round");
     }
-    slot_stamp_[slot] = round_;
+    slot_stamp_[arc] = round_;
     w.stats.note_message(meter_(msg));
-    w.sends.push_back(SendRec{static_cast<std::uint32_t>(slot),
-                              std::move(msg)});
+    w.sends.push_back(
+        SendRec{rcv_slot_[arc], from, s.adj_to[arc], e, std::move(msg)});
   }
 
   void ensure_workers() {
@@ -334,73 +381,114 @@ class SyncNetwork {
   void mark_active(NodeId v) {
     if (active_stamp_[v] != round_) {
       active_stamp_[v] = round_;
-      active_.push_back(v);
+      shard_active_[plan_.shard_of(v)].push_back(v);
     }
   }
 
   /// Merge last round's per-worker send lists into contiguous
-  /// per-receiver inbox ranges: count per receiver, prefix offsets over
-  /// the receivers actually hit, scatter payloads, then order each range
-  /// by the receiver's incidence position. O(messages + receivers).
+  /// per-receiver inbox ranges, in two counting-sort phases:
+  ///
+  ///  1. Boundary exchange: scatter every send into its destination
+  ///     shard's slice of `scratch_` (counting sort on shard id — the
+  ///     only pass whose memory touches are cross-shard).
+  ///  2. Per shard: counting-sort the shard's slice by receiver into
+  ///     `deliveries_` and put each inbox range into incidence order.
+  ///     Every vertex-indexed access (stamps, counts, offsets) falls in
+  ///     the shard's contiguous id range, which is sized to L2.
+  ///
+  /// O(messages + active shards). Shard slices are disjoint in every
+  /// array they touch, so phase 2 runs shard-parallel under a pool.
   void build_inboxes() {
-    receivers_.clear();
     std::size_t total = 0;
     for (const PerWorker& w : workers_) total += w.sends.size();
     deliveries_.clear();
     inbox_entries_.clear();
+    if (shard_receivers_.size() != plan_.count) {
+      shard_receivers_.assign(plan_.count, {});
+    }
+    for (std::vector<NodeId>& rs : shard_receivers_) rs.clear();
     if (total == 0) return;
 
-    const std::uint64_t tag = round_;
+    const unsigned num_shards = plan_.count;
+    // Phase 1: bin by destination shard.
+    shard_cnt_.assign(num_shards + 1, 0);
     for (const PerWorker& w : workers_) {
       for (const SendRec& rec : w.sends) {
-        const NodeId to = receiver_of(rec.slot);
-        if (inbox_stamp_[to] != tag) {
-          inbox_stamp_[to] = tag;
-          inbox_cnt_[to] = 0;
-          receivers_.push_back(to);
-        }
-        ++inbox_cnt_[to];
+        ++shard_cnt_[plan_.shard_of(rec.to) + 1];
       }
     }
-    std::size_t off = 0;
-    for (NodeId r : receivers_) {
-      inbox_off_[r] = off;
-      inbox_cur_[r] = off;
-      off += inbox_cnt_[r];
+    for (unsigned s = 0; s < num_shards; ++s) {
+      shard_cnt_[s + 1] += shard_cnt_[s];
     }
-    deliveries_.resize(total);
+    shard_off_ = shard_cnt_;  // keep range boundaries; shard_cnt_ cursors
+    scratch_.resize(total);
     for (PerWorker& w : workers_) {
       for (SendRec& rec : w.sends) {
-        const EdgeId e = static_cast<EdgeId>(rec.slot >> 1);
-        const Edge& ed = graph_->edge(e);
-        const NodeId from = (rec.slot & 1) ? ed.v : ed.u;
-        const NodeId to = (rec.slot & 1) ? ed.u : ed.v;
-        Delivery& d = deliveries_[inbox_cur_[to]++];
-        d.key = rcv_slot_[rec.slot];
-        d.from = from;
-        d.edge = e;
+        Delivery& d = scratch_[shard_cnt_[plan_.shard_of(rec.to)]++];
+        d.key = rec.key;
+        d.from = rec.from;
+        d.to = rec.to;
+        d.edge = rec.edge;
         d.payload = std::move(rec.msg);
       }
       w.sends.clear();
     }
-    for (NodeId r : receivers_) {
-      const auto begin = deliveries_.begin() + inbox_off_[r];
-      std::sort(begin, begin + inbox_cnt_[r],
-                [](const Delivery& a, const Delivery& b) {
-                  return a.key < b.key;
-                });
+
+    // Phase 2: within each shard, counting-sort by receiver. A shard's
+    // deliveries occupy exactly its slice [shard_off_[s], shard_off_[s+1])
+    // of deliveries_, so shards are independent.
+    deliveries_.resize(total);
+    const std::uint64_t tag = round_;
+    auto build_shard = [&](unsigned s) {
+      const std::size_t sb = shard_off_[s];
+      const std::size_t se = shard_off_[s + 1];
+      if (sb == se) return;
+      std::vector<NodeId>& recv = shard_receivers_[s];
+      for (std::size_t i = sb; i < se; ++i) {
+        const NodeId to = scratch_[i].to;
+        if (inbox_stamp_[to] != tag) {
+          inbox_stamp_[to] = tag;
+          inbox_cnt_[to] = 0;
+          recv.push_back(to);
+        }
+        ++inbox_cnt_[to];
+      }
+      std::size_t off = sb;
+      for (NodeId r : recv) {
+        inbox_off_[r] = off;
+        inbox_cur_[r] = off;
+        off += inbox_cnt_[r];
+      }
+      for (std::size_t i = sb; i < se; ++i) {
+        deliveries_[inbox_cur_[scratch_[i].to]++] = std::move(scratch_[i]);
+      }
+      for (NodeId r : recv) {
+        const auto begin = deliveries_.begin() +
+                           static_cast<std::ptrdiff_t>(inbox_off_[r]);
+        std::sort(begin, begin + static_cast<std::ptrdiff_t>(inbox_cnt_[r]),
+                  [](const Delivery& a, const Delivery& b) {
+                    return a.key < b.key;
+                  });
+      }
+    };
+    if (pool_ != nullptr && pool_->num_threads() > 1 && num_shards > 1) {
+      pool_->parallel_for_workers(
+          0, num_shards, 1,
+          [&](unsigned, std::size_t begin, std::size_t end) {
+            for (std::size_t s = begin; s < end; ++s) {
+              build_shard(static_cast<unsigned>(s));
+            }
+          });
+    } else {
+      for (unsigned s = 0; s < num_shards; ++s) build_shard(s);
     }
+
     inbox_entries_.resize(total);
     for (std::size_t i = 0; i < total; ++i) {
       inbox_entries_[i] =
           Incoming{deliveries_[i].from, deliveries_[i].edge,
                    &deliveries_[i].payload};
     }
-  }
-
-  NodeId receiver_of(std::uint32_t slot) const {
-    const Edge& ed = graph_->edge(static_cast<EdgeId>(slot >> 1));
-    return (slot & 1) ? ed.u : ed.v;
   }
 
   std::span<const Incoming> inbox_of(NodeId v) const {
@@ -412,27 +500,32 @@ class SyncNetwork {
   std::uint64_t seed_;
   Meter meter_;
   ThreadPool* pool_ = nullptr;
+  ShardPlan plan_;
 
   // Epoch-stamped directed channels (double-send detection) and the
   // precomputed receiver-side incidence position per channel.
   std::vector<std::uint64_t> slot_stamp_;  // 2m; == round of last send
   std::vector<std::uint32_t> rcv_slot_;    // 2m
 
-  // This round's mailbox: staged deliveries grouped by receiver, plus
-  // the per-receiver range bookkeeping (all stamped by round, so none of
-  // it is ever swept).
-  std::vector<Delivery> deliveries_;
+  // This round's mailbox: staged deliveries grouped by shard then
+  // receiver, plus the per-receiver range bookkeeping (all stamped by
+  // round, so none of it is ever swept).
+  std::vector<Delivery> scratch_;     // shard-binned staging
+  std::vector<Delivery> deliveries_;  // receiver-grouped, inbox-ordered
   std::vector<Incoming> inbox_entries_;
-  std::vector<NodeId> receivers_;
+  std::vector<std::vector<NodeId>> shard_receivers_;
+  std::vector<std::size_t> shard_cnt_;  // shards+1; reused as cursors
+  std::vector<std::size_t> shard_off_;  // shards+1
   std::vector<std::uint64_t> inbox_stamp_;  // n
   std::vector<std::size_t> inbox_off_;      // n
   std::vector<std::size_t> inbox_cur_;      // n
   std::vector<std::uint32_t> inbox_cnt_;    // n
 
-  // Active-set scheduling state.
+  // Active-set scheduling state, bucketed per shard.
   std::vector<NodeId> active_;
   std::vector<std::uint64_t> active_stamp_;  // n
   std::vector<NodeId> pending_activations_;
+  std::vector<std::vector<NodeId>> shard_active_;
   bool step_all_ = false;
   bool initial_restricted_ = false;
 

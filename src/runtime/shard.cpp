@@ -1,0 +1,92 @@
+#include "runtime/shard.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+
+namespace lps {
+
+namespace {
+
+/// Parse one /sys cache "size" file ("2048K", "32M", ...); 0 on failure.
+std::size_t read_cache_size(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::size_t value = 0;
+  in >> value;
+  if (!in) return 0;
+  char suffix = '\0';
+  in >> suffix;
+  if (suffix == 'K' || suffix == 'k') value <<= 10;
+  if (suffix == 'M' || suffix == 'm') value <<= 20;
+  return value;
+}
+
+int read_cache_level(const std::string& path) {
+  std::ifstream in(path);
+  int level = -1;
+  in >> level;
+  return in ? level : -1;
+}
+
+CacheInfo detect_cache_uncached() {
+  CacheInfo info;
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int i = 0; i < 8; ++i) {
+    const std::string dir = base + std::to_string(i);
+    const int level = read_cache_level(dir + "/level");
+    if (level < 0) break;
+    const std::size_t size = read_cache_size(dir + "/size");
+    if (size == 0) continue;
+    if (level == 2) info.l2_bytes = size;
+    if (level == 3) info.l3_bytes = size;
+  }
+  return info;
+}
+
+}  // namespace
+
+const CacheInfo& detect_cache() {
+  static const CacheInfo info = detect_cache_uncached();
+  return info;
+}
+
+ShardPlan plan_shards(NodeId n, unsigned requested,
+                      std::size_t bytes_per_vertex) {
+  ShardPlan plan;
+  plan.n = n;
+  if (n == 0) {
+    plan.shift = 32;
+    plan.count = 1;
+    return plan;
+  }
+  unsigned want;
+  if (requested == 0) {
+    // Auto: shards sized to ~half of L2 so bookkeeping plus adjacency
+    // and solver state fit with room to spare.
+    const std::size_t target = std::max<std::size_t>(
+        detect_cache().l2_bytes / 2, std::size_t{64} << 10);
+    const std::size_t per_shard = std::max<std::size_t>(
+        target / std::max<std::size_t>(bytes_per_vertex, 1), 1024);
+    want = static_cast<unsigned>(
+        std::min<std::size_t>((n + per_shard - 1) / per_shard, 4096));
+  } else {
+    want = std::min(requested, 4096u);
+  }
+  want = std::max(want, 1u);
+  // Power-of-two shard width >= 1024, wide enough that
+  // ceil(n / width) <= want.
+  unsigned shift = 10;
+  while ((static_cast<std::uint64_t>(n) + (std::uint64_t{1} << shift) - 1) >>
+             shift >
+         want) {
+    ++shift;
+  }
+  plan.shift = shift;
+  plan.count = static_cast<unsigned>(
+      (static_cast<std::uint64_t>(n) + (std::uint64_t{1} << shift) - 1) >>
+      shift);
+  return plan;
+}
+
+}  // namespace lps

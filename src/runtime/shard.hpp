@@ -1,0 +1,63 @@
+// Shard planning for the sharded round engine (DESIGN.md §11).
+//
+// A shard is a contiguous, power-of-two-aligned range of vertex ids, so
+// shard lookup is a single shift and a shard's slices of every
+// vertex-indexed array (CSR rows, mailbox bookkeeping, active stamps,
+// per-node solver state) are contiguous byte ranges. The auto plan
+// sizes shards so one shard's engine working set fits comfortably in
+// the detected L2 cache: the per-round mailbox counting sort and the
+// step loop then stay inside one shard's working set, and only the
+// boundary exchange (the shard-binning pass) walks memory proportional
+// to cross-shard traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/storage.hpp"
+
+namespace lps {
+
+/// Detected cache sizes, with conservative fallbacks when sysfs is
+/// unavailable (non-Linux, sandboxes).
+struct CacheInfo {
+  std::size_t l2_bytes = 1u << 20;   // fallback: 1 MiB
+  std::size_t l3_bytes = 8u << 20;   // fallback: 8 MiB
+};
+
+/// Reads /sys/devices/system/cpu/cpu0/cache once and caches the result.
+const CacheInfo& detect_cache();
+
+/// Bytes of engine + typical solver state touched per vertex per round;
+/// used by the auto plan. Mailbox bookkeeping (~24B) + active stamp +
+/// CSR offsets + a few adjacency entries.
+inline constexpr std::size_t kEngineBytesPerVertex = 64;
+
+/// A partition of [0, n) into `count` contiguous ranges of width
+/// 2^shift (the last may be shorter).
+struct ShardPlan {
+  NodeId n = 0;
+  unsigned shift = 32;  // shard_of(v) == v >> shift
+  unsigned count = 1;
+
+  unsigned shard_of(NodeId v) const noexcept {
+    return static_cast<unsigned>(v >> shift);
+  }
+  NodeId shard_begin(unsigned s) const noexcept {
+    return static_cast<NodeId>(static_cast<std::uint64_t>(s) << shift);
+  }
+  NodeId shard_end(unsigned s) const noexcept {
+    const std::uint64_t e = static_cast<std::uint64_t>(s + 1) << shift;
+    return e < n ? static_cast<NodeId>(e) : n;
+  }
+};
+
+/// Plan shards for an n-vertex graph. requested == 0 picks the count
+/// from the detected L2 size (targeting ~half of L2 per shard at
+/// `bytes_per_vertex`); requested >= 1 forces (at most) that many
+/// shards. Counts are clamped to [1, 4096] and shard width is a power
+/// of two >= 1024 so tiny graphs are never oversharded.
+ShardPlan plan_shards(NodeId n, unsigned requested,
+                      std::size_t bytes_per_vertex = kEngineBytesPerVertex);
+
+}  // namespace lps
