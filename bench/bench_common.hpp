@@ -12,12 +12,44 @@
 #include "graph/matching.hpp"
 #include "graph/weights.hpp"
 #include "seq/greedy.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace lps::bench {
+
+/// RAII --trace=PATH support for the experiment benches: construction
+/// turns on metrics + span recording when the flag is present,
+/// destruction stops recording and writes the Chrome trace. Inactive
+/// without the flag.
+class TraceGuard {
+ public:
+  explicit TraceGuard(const Options& opts) : path_(opts.get("trace", "")) {
+    if (path_.empty()) return;
+    telemetry::set_enabled(true);
+    telemetry::Tracer::global().reset();
+    telemetry::Tracer::global().set_recording(true);
+  }
+  ~TraceGuard() {
+    if (path_.empty()) return;
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    tracer.set_recording(false);
+    telemetry::set_enabled(false);
+    if (tracer.write_chrome_trace(path_)) {
+      std::fprintf(stderr, "trace written to %s (%zu events)\n",
+                   path_.c_str(), tracer.events());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", path_.c_str());
+    }
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  const std::string path_;
+};
 
 inline void print_header(const std::string& title, const std::string& claim) {
   std::cout << "\n## " << title << "\n\n";

@@ -13,6 +13,7 @@
 //
 //   ./bench_dynamic [--smoke] [--max-n 1048576] [--updates 0]
 //                   [--sample 20] [--json true] [--json-path BENCH_dynamic.json]
+//                   [--trace out.json]
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -78,6 +79,7 @@ int main(int argc, char** argv) {
   const int sample = static_cast<int>(opts.get_int("sample", smoke ? 6 : 20));
   const bool emit_json = opts.get_bool("json", !smoke);
   const std::string json_path = opts.get("json-path", "BENCH_dynamic.json");
+  const bench::TraceGuard trace(opts);
 
   bench::print_header(
       "Dynamic matching: incremental maintenance vs solve-from-scratch",

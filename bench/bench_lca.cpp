@@ -9,6 +9,7 @@
 //
 //   ./bench_lca [--trials 3] [--max-n 16384] [--queries 256]
 //               [--threads 1] [--json-dir bench/out] [--json false]
+//               [--trace out.json]
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const unsigned threads = static_cast<unsigned>(opts.get_int("threads", 1));
   const bool emit_json = opts.get_bool("json", true);
   const std::string json_dir = opts.get("json-dir", "bench/out");
+  const bench::TraceGuard trace(opts);
 
   bench::print_header(
       "LCA: oracle point queries vs the global solve",

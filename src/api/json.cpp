@@ -29,6 +29,45 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+namespace {
+
+std::string render_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return buf;
+}
+
+}  // namespace
+
+JsonArray& JsonArray::push(double value) {
+  items_.push_back(render_double(value));
+  return *this;
+}
+
+JsonArray& JsonArray::push(std::uint64_t value) {
+  items_.push_back(std::to_string(value));
+  return *this;
+}
+
+JsonArray& JsonArray::push(const JsonObject& nested) {
+  items_.push_back(nested.str());
+  return *this;
+}
+
+std::string JsonArray::str() const {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& item : items_) {
+    if (!first) out += ", ";
+    first = false;
+    out += item;
+  }
+  out += ']';
+  return out;
+}
+
 JsonObject& JsonObject::raw(const std::string& key, std::string rendered) {
   fields_.emplace_back(key, std::move(rendered));
   return *this;
@@ -43,11 +82,7 @@ JsonObject& JsonObject::add(const std::string& key, const char* value) {
 }
 
 JsonObject& JsonObject::add(const std::string& key, double value) {
-  if (!std::isfinite(value)) return raw(key, "null");
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*g",
-                std::numeric_limits<double>::max_digits10, value);
-  return raw(key, buf);
+  return raw(key, render_double(value));
 }
 
 JsonObject& JsonObject::add(const std::string& key, std::int64_t value) {
@@ -68,6 +103,10 @@ JsonObject& JsonObject::add(const std::string& key, bool value) {
 
 JsonObject& JsonObject::add(const std::string& key, const JsonObject& nested) {
   return raw(key, nested.str());
+}
+
+JsonObject& JsonObject::add(const std::string& key, const JsonArray& array) {
+  return raw(key, array.str());
 }
 
 std::string JsonObject::str() const {

@@ -13,8 +13,24 @@ namespace lps::api {
 /// Escape for inclusion inside a JSON string literal (adds no quotes).
 std::string json_escape(const std::string& s);
 
+class JsonObject;
+
+/// JSON array builder (telemetry series / histograms in per-run JSON).
+class JsonArray {
+ public:
+  JsonArray& push(double value);
+  JsonArray& push(std::uint64_t value);
+  JsonArray& push(const JsonObject& nested);
+
+  /// `[v, ...]` on one line.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> items_;
+};
+
 /// Flat-to-lightly-nested JSON object builder; keys appear in insertion
-/// order. Nesting via add(key, JsonObject).
+/// order. Nesting via add(key, JsonObject) / add(key, JsonArray).
 class JsonObject {
  public:
   JsonObject& add(const std::string& key, const std::string& value);
@@ -25,6 +41,7 @@ class JsonObject {
   JsonObject& add(const std::string& key, int value);
   JsonObject& add(const std::string& key, bool value);
   JsonObject& add(const std::string& key, const JsonObject& nested);
+  JsonObject& add(const std::string& key, const JsonArray& array);
 
   /// `{"k": v, ...}` on one line.
   std::string str() const;

@@ -18,6 +18,7 @@
 #include "graph/weights.hpp"
 #include "lca/batch.hpp"
 #include "lca/oracle.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 
@@ -386,6 +387,149 @@ void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
   }
 }
 
+/// A point-in-time copy of every instrument the run summary reads.
+/// run_one snapshots around each phase and subtracts, so one process
+/// can run many runs without resetting the global registry.
+struct TelemetrySnap {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  telemetry::HistogramSnapshot round_ns;
+  telemetry::HistogramSnapshot p1_ns;
+  telemetry::HistogramSnapshot p2_ns;
+  telemetry::HistogramSnapshot sort_ns;
+  telemetry::HistogramSnapshot deliver_ns;
+  telemetry::HistogramSnapshot step_ns;
+  std::vector<std::uint64_t> shard_ns;
+  std::vector<std::uint64_t> worker_ns;
+  std::size_t series_size = 0;
+  telemetry::HistogramSnapshot lca_query_ns;
+  telemetry::HistogramSnapshot dyn_update_ns;
+};
+
+TelemetrySnap snap_telemetry() {
+  TelemetrySnap s;
+  telemetry::EngineMetrics& em = telemetry::EngineMetrics::get();
+  s.rounds = em.rounds.value();
+  s.messages = em.messages_delivered.value();
+  s.round_ns = em.round_ns.snapshot();
+  s.p1_ns = em.exchange_p1_ns.snapshot();
+  s.p2_ns = em.exchange_p2_ns.snapshot();
+  s.sort_ns = em.inbox_sort_ns.snapshot();
+  s.deliver_ns = em.deliver_ns.snapshot();
+  s.step_ns = em.step_ns.snapshot();
+  s.shard_ns = em.shard_exchange_ns.values();
+  s.worker_ns = em.worker_busy_ns.values();
+  s.series_size = em.messages_per_round.size();
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  s.lca_query_ns = reg.histogram("lca.query_ns").snapshot();
+  s.dyn_update_ns = reg.histogram("dynamic.update_ns").snapshot();
+  return s;
+}
+
+std::vector<std::uint64_t> vec_delta(std::vector<std::uint64_t> after,
+                                     const std::vector<std::uint64_t>& before) {
+  for (std::size_t i = 0; i < before.size() && i < after.size(); ++i) {
+    after[i] -= before[i];
+  }
+  return after;
+}
+
+/// Fold the solve-phase delta (before -> after_solve) plus the optional
+/// legs' histograms (before -> end) into the JSON-ready digest.
+TelemetrySummary summarize_telemetry(const TelemetrySnap& before,
+                                     const TelemetrySnap& after_solve,
+                                     const TelemetrySnap& end) {
+  TelemetrySummary t;
+  // Compiled out (-DLPS_TELEMETRY=0) set_enabled is a no-op and every
+  // delta below is zero; report the block as disabled rather than as a
+  // run that mysteriously measured nothing.
+  t.enabled = telemetry::enabled();
+  t.rounds = after_solve.rounds - before.rounds;
+  t.messages_delivered = after_solve.messages - before.messages;
+
+  telemetry::HistogramSnapshot round = after_solve.round_ns;
+  round -= before.round_ns;
+  t.round_ns_mean = round.mean();
+  t.round_ns_p50 = round.percentile(50);
+  t.round_ns_p90 = round.percentile(90);
+  t.round_ns_p99 = round.percentile(99);
+  t.round_ns_max = round.max;
+
+  const auto per_round_mean = [&](telemetry::HistogramSnapshot h,
+                                  const telemetry::HistogramSnapshot& b) {
+    h -= b;
+    return t.rounds == 0 ? 0.0
+                         : static_cast<double>(h.sum) /
+                               static_cast<double>(t.rounds);
+  };
+  t.exchange_p1_ns_mean = per_round_mean(after_solve.p1_ns, before.p1_ns);
+  t.exchange_p2_ns_mean = per_round_mean(after_solve.p2_ns, before.p2_ns);
+  t.inbox_sort_ns_mean = per_round_mean(after_solve.sort_ns, before.sort_ns);
+  t.deliver_ns_mean = per_round_mean(after_solve.deliver_ns, before.deliver_ns);
+  t.step_ns_mean = per_round_mean(after_solve.step_ns, before.step_ns);
+
+  t.worker_busy_ns = vec_delta(after_solve.worker_ns, before.worker_ns);
+  telemetry::HistogramSnapshot step = after_solve.step_ns;
+  step -= before.step_ns;
+  if (t.worker_busy_ns.size() > 1 && step.sum > 0) {
+    std::uint64_t busy = 0;
+    for (std::uint64_t w : t.worker_busy_ns) busy += w;
+    const double span = static_cast<double>(step.sum) *
+                        static_cast<double>(t.worker_busy_ns.size());
+    t.worker_stall_frac =
+        std::clamp(1.0 - static_cast<double>(busy) / span, 0.0, 1.0);
+  }
+
+  const std::vector<std::uint64_t> shard =
+      vec_delta(after_solve.shard_ns, before.shard_ns);
+  std::uint64_t shard_sum = 0;
+  for (std::size_t s = 0; s < shard.size(); ++s) {
+    if (shard[s] == 0) continue;
+    ++t.shards_touched;
+    shard_sum += shard[s];
+    if (shard[s] > t.shard_busy_max_ns) {
+      t.shard_busy_max_ns = shard[s];
+      t.hottest_shard = s;
+    }
+  }
+  if (t.shards_touched > 0) {
+    t.shard_busy_mean_ns = static_cast<double>(shard_sum) /
+                           static_cast<double>(t.shards_touched);
+    t.shard_imbalance =
+        static_cast<double>(t.shard_busy_max_ns) / t.shard_busy_mean_ns;
+  }
+
+  const std::vector<std::uint64_t> series =
+      telemetry::EngineMetrics::get().messages_per_round.values_from(
+          before.series_size);
+  const std::size_t rounds_in_series =
+      std::min<std::size_t>(series.size(), after_solve.series_size >
+                                                   before.series_size
+                                               ? after_solve.series_size -
+                                                     before.series_size
+                                               : 0);
+  t.messages_per_round_stride =
+      std::max<std::uint64_t>(1, (rounds_in_series + 63) / 64);
+  for (std::size_t i = 0; i < rounds_in_series;
+       i += t.messages_per_round_stride) {
+    t.messages_per_round.push_back(series[i]);
+  }
+
+  telemetry::HistogramSnapshot lca = end.lca_query_ns;
+  lca -= before.lca_query_ns;
+  if (lca.count > 0) {
+    t.lca_query_ns_p50 = lca.percentile(50);
+    t.lca_query_ns_p99 = lca.percentile(99);
+  }
+  telemetry::HistogramSnapshot dyn = end.dyn_update_ns;
+  dyn -= before.dyn_update_ns;
+  if (dyn.count > 0) {
+    t.dynamic_update_ns_p50 = dyn.percentile(50);
+    t.dynamic_update_ns_p99 = dyn.percentile(99);
+  }
+  return t;
+}
+
 }  // namespace
 
 RunResult run_one(const RunSpec& spec) {
@@ -411,6 +555,10 @@ RunResult run_one(const RunSpec& spec) {
   // Fail everything solve() would reject before the (possibly O(n^3))
   // oracle run below: config typos and instance-shape mismatches.
   solver.validate(inst, config);
+  if (!spec.dynamic.empty() && spec.dynamic_stream.empty()) {
+    throw std::invalid_argument(
+        "run_one: dynamic leg requires a dynamic_stream spec");
+  }
   std::unique_ptr<ThreadPool> pool;
   if (spec.threads != 1) {
     pool = std::make_unique<ThreadPool>(spec.threads);
@@ -464,7 +612,26 @@ RunResult run_one(const RunSpec& spec) {
     }
   }
 
+  // Telemetry window: metrics cover only the solver's own solve (the
+  // oracle ran above, outside the window); the optional legs contribute
+  // their dedicated histograms below. The prior enabled state is
+  // restored on the way out so nested/test callers see no side effect.
+  const bool want_trace = !spec.trace.empty();
+  const bool want_metrics = spec.telemetry || want_trace;
+  const bool prev_metrics = telemetry::enabled();
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  if (want_metrics) telemetry::set_enabled(true);
+  if (want_trace) {
+    tracer.reset();
+    tracer.set_recording(true);
+  }
+  TelemetrySnap t_before;
+  if (want_metrics) t_before = snap_telemetry();
+
   SolveResult result = solver.solve(inst, config);
+
+  TelemetrySnap t_solve;
+  if (want_metrics) t_solve = snap_telemetry();
   if (self_oracle) {
     out.optimum = objective(inst, result.matching, weighted_objective) *
                   oracle.bound_factor;
@@ -490,11 +657,15 @@ RunResult run_one(const RunSpec& spec) {
     run_lca_leg(spec, inst, config, result.matching, pool.get(), out);
   }
   if (!spec.dynamic.empty()) {
-    if (spec.dynamic_stream.empty()) {
-      throw std::invalid_argument(
-          "run_one: dynamic leg requires a dynamic_stream spec");
-    }
     run_dynamic_leg(spec, out);
+  }
+  if (want_metrics) {
+    out.telemetry = summarize_telemetry(t_before, t_solve, snap_telemetry());
+  }
+  telemetry::set_enabled(prev_metrics);
+  if (want_trace) {
+    tracer.set_recording(false);
+    if (tracer.write_chrome_trace(spec.trace)) out.trace_path = spec.trace;
   }
   // Mirror ThreadPool's resolution of the 0 sentinel (hardware
   // concurrency, floored at 1 — the standard allows it to report 0).
@@ -512,6 +683,50 @@ RunResult run_one(const RunSpec& spec) {
 std::string RunResult::to_json() const {
   JsonObject metrics_obj;
   for (const auto& [key, value] : metrics) metrics_obj.add(key, value);
+  JsonObject tel;
+  tel.add("enabled", telemetry.enabled);
+  if (telemetry.enabled) {
+    JsonObject round;
+    round.add("mean_ns", telemetry.round_ns_mean)
+        .add("p50_ns", telemetry.round_ns_p50)
+        .add("p90_ns", telemetry.round_ns_p90)
+        .add("p99_ns", telemetry.round_ns_p99)
+        .add("max_ns", telemetry.round_ns_max);
+    JsonObject phases;
+    phases.add("exchange_p1_ns", telemetry.exchange_p1_ns_mean)
+        .add("exchange_p2_ns", telemetry.exchange_p2_ns_mean)
+        .add("inbox_sort_ns", telemetry.inbox_sort_ns_mean)
+        .add("deliver_ns", telemetry.deliver_ns_mean)
+        .add("step_ns", telemetry.step_ns_mean);
+    JsonArray worker_busy;
+    for (const std::uint64_t w : telemetry.worker_busy_ns) worker_busy.push(w);
+    JsonObject shards_obj;
+    shards_obj.add("touched", telemetry.shards_touched)
+        .add("busy_mean_ns", telemetry.shard_busy_mean_ns)
+        .add("busy_max_ns", telemetry.shard_busy_max_ns)
+        .add("hottest", telemetry.hottest_shard)
+        .add("imbalance", telemetry.shard_imbalance);
+    JsonArray mpr;
+    for (const std::uint64_t v : telemetry.messages_per_round) mpr.push(v);
+    tel.add("rounds", telemetry.rounds)
+        .add("messages_delivered", telemetry.messages_delivered)
+        .add("round", round)
+        .add("phase_mean_per_round", phases)
+        .add("worker_busy_ns", worker_busy)
+        .add("worker_stall_frac", telemetry.worker_stall_frac)
+        .add("shard_exchange", shards_obj)
+        .add("messages_per_round", mpr)
+        .add("messages_per_round_stride", telemetry.messages_per_round_stride);
+    if (telemetry.lca_query_ns_p50 > 0.0) {
+      tel.add("lca_query_ns_p50", telemetry.lca_query_ns_p50)
+          .add("lca_query_ns_p99", telemetry.lca_query_ns_p99);
+    }
+    if (telemetry.dynamic_update_ns_p50 > 0.0) {
+      tel.add("dynamic_update_ns_p50", telemetry.dynamic_update_ns_p50)
+          .add("dynamic_update_ns_p99", telemetry.dynamic_update_ns_p99);
+    }
+    if (!trace_path.empty()) tel.add("trace_path", trace_path);
+  }
   JsonObject o;
   o.add("solver", spec.solver)
       .add("generator", spec.generator)
@@ -562,6 +777,7 @@ std::string RunResult::to_json() const {
       .add("provenance", provenance_json(Provenance{
                              prov_git_sha, prov_build_type, prov_threads,
                              prov_timestamp_utc}))
+      .add("telemetry", tel)
       .add("metrics", metrics_obj);
   return o.str();
 }

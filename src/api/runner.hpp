@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "api/solver.hpp"
 
@@ -82,6 +83,54 @@ struct RunSpec {
   /// Approximation-vs-time sample points along the stream (snapshots
   /// re-solved through the registry); 0 disables the ratio columns.
   std::uint64_t dynamic_checkpoints = 8;
+  /// Collect per-phase metrics (src/telemetry) during the run and attach
+  /// the `telemetry` block to the JSON record. One predictable branch
+  /// per engine phase; set false for overhead-sensitive measurement.
+  /// No-op when the library is built with -DLPS_TELEMETRY=0.
+  bool telemetry = true;
+  /// When non-empty, record Chrome-trace spans for the whole run and
+  /// write them to this path (load in Perfetto / chrome://tracing).
+  /// Implies metric collection.
+  std::string trace;
+};
+
+/// The per-run telemetry digest attached to RunResult (and the JSON
+/// record). All durations ns; phase means are per *round* averages.
+struct TelemetrySummary {
+  bool enabled = false;   // false = block absent (telemetry off/compiled out)
+  std::uint64_t rounds = 0;
+  std::uint64_t messages_delivered = 0;
+  // Whole-round latency distribution.
+  double round_ns_mean = 0.0;
+  double round_ns_p50 = 0.0;
+  double round_ns_p90 = 0.0;
+  double round_ns_p99 = 0.0;
+  std::uint64_t round_ns_max = 0;
+  // Per-phase means per round (boundary exchange 1/2, inbox sort,
+  // delivery staging, step loop).
+  double exchange_p1_ns_mean = 0.0;
+  double exchange_p2_ns_mean = 0.0;
+  double inbox_sort_ns_mean = 0.0;
+  double deliver_ns_mean = 0.0;
+  double step_ns_mean = 0.0;
+  // Per-worker step-loop busy time and the implied stall fraction
+  // (1 - busy / (workers * step span); 0 when single-threaded).
+  std::vector<std::uint64_t> worker_busy_ns;
+  double worker_stall_frac = 0.0;
+  // Per-shard phase-2 exchange time: the straggler diagnostic.
+  std::uint64_t shards_touched = 0;
+  double shard_busy_mean_ns = 0.0;
+  std::uint64_t shard_busy_max_ns = 0;
+  std::uint64_t hottest_shard = 0;
+  double shard_imbalance = 0.0;  // max/mean over touched shards
+  // Messages delivered per round, strided to <= 64 samples.
+  std::vector<std::uint64_t> messages_per_round;
+  std::uint64_t messages_per_round_stride = 1;
+  // Optional-leg latency digests (zero when the leg did not run).
+  double lca_query_ns_p50 = 0.0;
+  double lca_query_ns_p99 = 0.0;
+  double dynamic_update_ns_p50 = 0.0;
+  double dynamic_update_ns_p99 = 0.0;
 };
 
 struct RunResult {
@@ -145,6 +194,11 @@ struct RunResult {
   double dynamic_ratio_min = -1.0;
   std::string dynamic_baseline;  // registry solver used for the ratio
   bool dynamic_valid = false;    // final matching audit passed
+  // Per-run telemetry digest (enabled=false when spec.telemetry was
+  // off or the library was built with LPS_TELEMETRY=0).
+  TelemetrySummary telemetry;
+  /// Path the trace was written to ("" = no trace requested/written).
+  std::string trace_path;
   // Provenance stamp (git SHA, build type, resolved threads, record
   // timestamp); filled by run_one.
   std::string prov_git_sha;

@@ -5,9 +5,21 @@
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 
 namespace lps::dynamic {
+
+namespace {
+
+/// Resolved once (static ref), recorded per update when metrics are on.
+telemetry::Histogram& update_ns_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::MetricsRegistry::global().histogram("dynamic.update_ns");
+  return h;
+}
+
+}  // namespace
 
 // ------------------------------------------------------ DynamicMatcher --
 
@@ -45,6 +57,8 @@ void DynamicMatcher::unmatch(EdgeId e) {
 }
 
 void DynamicMatcher::apply(const Update& up) {
+  const bool tmetrics = telemetry::enabled();
+  const std::uint64_t t0 = tmetrics ? telemetry::now_ns() : 0;
   switch (up.kind) {
     case UpdateKind::kInsertEdge: {
       const EdgeId e = g_.insert_edge(up.u, up.v, up.weight);
@@ -97,15 +111,28 @@ void DynamicMatcher::apply(const Update& up) {
   }
   ++stats_.updates;
   after_update();
+  if (tmetrics) update_ns_histogram().record(telemetry::now_ns() - t0);
 }
 
 void DynamicMatcher::apply_trace(const UpdateTrace& trace) {
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  const bool ttrace = tracer.recording();
+  const std::uint64_t t0 = ttrace ? telemetry::now_ns() : 0;
   for (const Update& up : trace) apply(up);
+  if (ttrace) {
+    tracer.emit("dynamic.apply_trace", "dynamic", t0,
+                telemetry::now_ns() - t0,
+                {{"updates", static_cast<double>(trace.size())}});
+  }
 }
 
 void DynamicMatcher::adopt_registry_solution(const std::string& solver,
                                              std::uint64_t seed) {
   ++stats_.rebuilds;
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  const bool ttrace = tracer.recording();
+  const std::uint64_t t0 = ttrace ? telemetry::now_ns() : 0;
+  const std::size_t size_before = size_;
   const Snapshot snap = g_.snapshot();
   api::SolverConfig config;
   config.seed(seed);
@@ -121,6 +148,12 @@ void DynamicMatcher::adopt_registry_solution(const std::string& solver,
   for (EdgeId se = 0; se < snap.edge_to_dynamic.size(); ++se) {
     const EdgeId e = snap.edge_to_dynamic[se];
     if (keep[e] && !in_matching(e)) match(e);
+  }
+  if (ttrace) {
+    tracer.emit("dynamic.rebuild", "dynamic", t0, telemetry::now_ns() - t0,
+                {{"edges", static_cast<double>(snap.graph.num_edges())},
+                 {"size_before", static_cast<double>(size_before)},
+                 {"size_after", static_cast<double>(size_)}});
   }
 }
 
@@ -267,6 +300,11 @@ void RepairDynamicMatcher::repair() {
   since_repair_ = 0;
   if (dirty_.empty()) return;
   ++stats_.repairs;
+  telemetry::Tracer& tracer = telemetry::Tracer::global();
+  const bool ttrace = tracer.recording();
+  const std::uint64_t t0 = ttrace ? telemetry::now_ns() : 0;
+  const std::uint64_t augs_before = stats_.augmentations;
+  const std::size_t dirty_count = dirty_.size();
   stamp_.resize(graph().node_slots(), 0);
   if (!options_.rebuild.empty() &&
       graph().num_live_nodes() > 0 &&
@@ -289,6 +327,13 @@ void RepairDynamicMatcher::repair() {
     if (v < dirty_flag_.size()) dirty_flag_[v] = 0;
   }
   dirty_.clear();
+  if (ttrace) {
+    tracer.emit(
+        "dynamic.repair", "dynamic", t0, telemetry::now_ns() - t0,
+        {{"dirty", static_cast<double>(dirty_count)},
+         {"augmentations",
+          static_cast<double>(stats_.augmentations - augs_before)}});
+  }
 }
 
 int RepairDynamicMatcher::augment_from(NodeId u, int remaining) {

@@ -79,6 +79,7 @@
 #include "runtime/round_stats.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace lps {
@@ -235,7 +236,16 @@ class SyncNetwork {
     ensure_workers();
     ++stats_.rounds;
 
-    build_inboxes();
+    // Telemetry gates, resolved once per round: two relaxed loads when
+    // compiled in, constexpr false (whole blocks dead) when compiled out.
+    const bool tmetrics = telemetry::enabled();
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    const bool ttrace = tracer.recording();
+    const bool tel = tmetrics || ttrace;
+    const std::uint64_t this_round = round_;
+    const std::uint64_t t_round = tel ? telemetry::now_ns() : 0;
+
+    build_inboxes(tmetrics, ttrace);
     delivered_last_round_ = deliveries_.size();
 
     const bool all = step_all_ || (round_ == 0 && !initial_restricted_);
@@ -263,8 +273,10 @@ class SyncNetwork {
     const std::size_t count = all ? g.num_nodes() : active_.size();
     stepped_last_round_ = count;
 
+    const std::uint64_t t_step = tel ? telemetry::now_ns() : 0;
     auto process = [&](unsigned worker, std::size_t begin, std::size_t end) {
       PerWorker& pw = workers_[worker];
+      const std::uint64_t t_chunk = tel ? telemetry::now_ns() : 0;
       for (std::size_t i = begin; i < end; ++i) {
         const NodeId node = all ? static_cast<NodeId>(i) : active_[i];
         Ctx ctx;
@@ -275,27 +287,57 @@ class SyncNetwork {
         ctx.worker_ = &pw;
         step(ctx);
       }
+      if (tel) pw.busy_ns += telemetry::now_ns() - t_chunk;
     };
     if (pool_ != nullptr && pool_->num_threads() > 1) {
       pool_->parallel_for_workers(0, count, 256, process);
     } else {
       process(0, 0, count);
     }
+    const std::uint64_t t_step_end = tel ? telemetry::now_ns() : 0;
 
     // One stat merge per round (per-worker slots; no mutex anywhere).
     std::uint64_t sent = 0;
     std::uint64_t bits = 0;
-    for (PerWorker& w : workers_) {
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      PerWorker& w = workers_[wi];
       sent += w.stats.messages;
       bits += w.stats.total_bits;
       stats_.max_message_bits =
           std::max(stats_.max_message_bits, w.stats.max_message_bits);
       w.stats = NetStats{};
+      if (tmetrics && w.busy_ns != 0) {
+        telemetry::EngineMetrics::get().worker_busy_ns.add(wi, w.busy_ns);
+      }
+      w.busy_ns = 0;  // unconditional: no stale carry if telemetry toggles
     }
     stats_.messages += sent;
     stats_.total_bits += bits;
     pending_ = sent;
     ++round_;
+
+    if (tel) {
+      const std::uint64_t t_end = telemetry::now_ns();
+      if (tmetrics) {
+        telemetry::EngineMetrics& em = telemetry::EngineMetrics::get();
+        em.rounds.add(1);
+        em.messages_delivered.add(delivered_last_round_);
+        em.round_ns.record(t_end - t_round);
+        em.step_ns.record(t_step_end - t_step);
+        em.messages_per_round.push(delivered_last_round_);
+      }
+      if (ttrace) {
+        const auto r = static_cast<double>(this_round);
+        tracer.emit("engine.step", "engine", t_step, t_step_end - t_step,
+                    {{"round", r},
+                     {"stepped", static_cast<double>(stepped_last_round_)}});
+        tracer.emit(
+            "engine.round", "engine", t_round, t_end - t_round,
+            {{"round", r},
+             {"delivered", static_cast<double>(delivered_last_round_)},
+             {"sent", static_cast<double>(sent)}});
+      }
+    }
   }
 
   /// Run up to max_rounds; with stop_when_silent, stop after a round in
@@ -347,6 +389,7 @@ class SyncNetwork {
     std::vector<SendRec> sends;
     std::vector<NodeId> wake;
     NetStats stats;
+    std::uint64_t busy_ns = 0;  // step-loop time this round (telemetry)
   };
 
   void enqueue(NodeId from, EdgeId e, M msg, PerWorker& w) {
@@ -398,7 +441,9 @@ class SyncNetwork {
   ///
   /// O(messages + active shards). Shard slices are disjoint in every
   /// array they touch, so phase 2 runs shard-parallel under a pool.
-  void build_inboxes() {
+  void build_inboxes(bool tmetrics, bool ttrace) {
+    const bool tel = tmetrics || ttrace;
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
     std::size_t total = 0;
     for (const PerWorker& w : workers_) total += w.sends.size();
     deliveries_.clear();
@@ -409,6 +454,7 @@ class SyncNetwork {
     for (std::vector<NodeId>& rs : shard_receivers_) rs.clear();
     if (total == 0) return;
 
+    const std::uint64_t t_p1 = tel ? telemetry::now_ns() : 0;
     const unsigned num_shards = plan_.count;
     // Phase 1: bin by destination shard.
     shard_cnt_.assign(num_shards + 1, 0);
@@ -433,6 +479,15 @@ class SyncNetwork {
       }
       w.sends.clear();
     }
+    const std::uint64_t t_p1_end = tel ? telemetry::now_ns() : 0;
+    if (tmetrics) {
+      telemetry::EngineMetrics::get().exchange_p1_ns.record(t_p1_end - t_p1);
+    }
+    if (ttrace) {
+      tracer.emit("engine.exchange.p1", "engine", t_p1, t_p1_end - t_p1,
+                  {{"round", static_cast<double>(round_)},
+                   {"msgs", static_cast<double>(total)}});
+    }
 
     // Phase 2: within each shard, counting-sort by receiver. A shard's
     // deliveries occupy exactly its slice [shard_off_[s], shard_off_[s+1])
@@ -443,6 +498,7 @@ class SyncNetwork {
       const std::size_t sb = shard_off_[s];
       const std::size_t se = shard_off_[s + 1];
       if (sb == se) return;
+      const std::uint64_t t_s0 = tel ? telemetry::now_ns() : 0;
       std::vector<NodeId>& recv = shard_receivers_[s];
       for (std::size_t i = sb; i < se; ++i) {
         const NodeId to = scratch_[i].to;
@@ -462,6 +518,7 @@ class SyncNetwork {
       for (std::size_t i = sb; i < se; ++i) {
         deliveries_[inbox_cur_[scratch_[i].to]++] = std::move(scratch_[i]);
       }
+      const std::uint64_t t_s1 = tel ? telemetry::now_ns() : 0;
       for (NodeId r : recv) {
         const auto begin = deliveries_.begin() +
                            static_cast<std::ptrdiff_t>(inbox_off_[r]);
@@ -469,6 +526,25 @@ class SyncNetwork {
                   [](const Delivery& a, const Delivery& b) {
                     return a.key < b.key;
                   });
+      }
+      if (tel) {
+        const std::uint64_t t_s2 = telemetry::now_ns();
+        if (tmetrics) {
+          telemetry::EngineMetrics& em = telemetry::EngineMetrics::get();
+          em.exchange_p2_ns.record(t_s1 - t_s0);
+          em.inbox_sort_ns.record(t_s2 - t_s1);
+          em.shard_exchange_ns.add(s, t_s2 - t_s0);
+        }
+        if (ttrace) {
+          const auto rd = static_cast<double>(round_);
+          const auto sh = static_cast<double>(s);
+          tracer.emit("engine.exchange.p2", "engine", t_s0, t_s1 - t_s0,
+                      {{"shard", sh},
+                       {"round", rd},
+                       {"msgs", static_cast<double>(se - sb)}});
+          tracer.emit("engine.inbox.sort", "engine", t_s1, t_s2 - t_s1,
+                      {{"shard", sh}, {"round", rd}});
+        }
       }
     };
     if (pool_ != nullptr && pool_->num_threads() > 1 && num_shards > 1) {
@@ -483,11 +559,23 @@ class SyncNetwork {
       for (unsigned s = 0; s < num_shards; ++s) build_shard(s);
     }
 
+    const std::uint64_t t_dl = tel ? telemetry::now_ns() : 0;
     inbox_entries_.resize(total);
     for (std::size_t i = 0; i < total; ++i) {
       inbox_entries_[i] =
           Incoming{deliveries_[i].from, deliveries_[i].edge,
                    &deliveries_[i].payload};
+    }
+    if (tel) {
+      const std::uint64_t t_dl_end = telemetry::now_ns();
+      if (tmetrics) {
+        telemetry::EngineMetrics::get().deliver_ns.record(t_dl_end - t_dl);
+      }
+      if (ttrace) {
+        tracer.emit("engine.deliver", "engine", t_dl, t_dl_end - t_dl,
+                    {{"round", static_cast<double>(round_)},
+                     {"msgs", static_cast<double>(total)}});
+      }
     }
   }
 

@@ -41,10 +41,8 @@ struct NetStats {
   }
 };
 
-/// Optional per-round trace (enabled explicitly; used by a few benches).
-struct RoundTrace {
-  std::uint64_t messages = 0;
-  std::uint64_t bits = 0;
-};
+// Per-round traces live in src/telemetry (Tracer spans + the
+// engine.messages_per_round series); the old RoundTrace struct that sat
+// here is subsumed by that layer.
 
 }  // namespace lps

@@ -1,6 +1,9 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
 
 namespace lps {
 
@@ -24,6 +27,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop(unsigned worker) {
+  // Label the thread in trace exports; registers the buffer eagerly so
+  // the label survives even if recording starts mid-run.
+  telemetry::Tracer::global().set_thread_label("pool-worker-" +
+                                               std::to_string(worker));
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(unsigned, std::size_t, std::size_t)>* job =

@@ -2,7 +2,8 @@
 // client, every shard count, and every thread count, the execution must
 // be bit-identical — same matching, same message/bit/round counts, same
 // metrics (DESIGN.md §11). This suite enforces that via the registry
-// for all 8 engine-backed solvers, and checks that the LCA oracles
+// for all 8 engine-backed solvers (case matrix + helpers shared with
+// test_telemetry via engine_cases.hpp), and checks that the LCA oracles
 // (which never see the engine) still agree with sharded global runs.
 #include <gtest/gtest.h>
 
@@ -13,6 +14,7 @@
 
 #include "api/registry.hpp"
 #include "api/runner.hpp"
+#include "engine_cases.hpp"
 #include "lca/oracle.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/thread_pool.hpp"
@@ -24,48 +26,12 @@ using api::Instance;
 using api::SolveResult;
 using api::SolverConfig;
 using api::SolverRegistry;
+using test_support::ShardCase;
+using test_support::expect_identical;
+using test_support::kEngineCases;
+using test_support::solve_with;
 
-struct ShardCase {
-  const char* solver;
-  const char* generator;  // api::make_instance spec
-  const char* config;     // extra solver config ("" = defaults)
-};
-
-// One instance per engine-backed solver, sized so forced shard counts
-// are genuinely different partitions (shard width is >= 1024: n = 4096
-// gives up to 4 shards, n = 2048 two) while the whole matrix stays
-// test-suite fast; requesting 8 everywhere also exercises the clamp.
-// The multi-phase solvers (aug/conflict/black-box stacks) run hundreds
-// of engine executions per solve, so they get the smaller instances —
-// the engine code exercised per shard plan is identical.
-const ShardCase kCases[] = {
-    {"israeli_itai", "er:n=4096,deg=4", ""},
-    {"bipartite_mcm", "bipartite:nx=1024,ny=1024,deg=3", "k=2"},
-    {"general_mcm", "er:n=2048,deg=3", "k=3"},
-    {"generic_mcm", "tree:n=2048", ""},
-    {"hoepman_mwm", "er:n=2048,deg=4,w=uniform,wlo=1,whi=100", ""},
-    {"class_mwm", "er:n=2048,deg=4,w=pow2,wlevels=5", ""},
-    {"weighted_mwm", "er:n=2048,deg=4,w=uniform,wlo=1,whi=100", ""},
-    {"pipelined_max", "tree:n=4096", ""},
-};
-
-SolveResult solve_with(const ShardCase& c, unsigned shards,
-                       ThreadPool* pool) {
-  const Instance inst = api::make_instance(c.generator, /*seed=*/7);
-  SolverConfig cfg = SolverConfig::parse(c.config);
-  cfg.seed(11).shards(shards).pool(pool);
-  return SolverRegistry::global().at(c.solver).solve(inst, cfg);
-}
-
-void expect_identical(const SolveResult& a, const SolveResult& b,
-                      const std::string& label) {
-  EXPECT_EQ(a.matching, b.matching) << label;
-  EXPECT_EQ(a.stats.rounds, b.stats.rounds) << label;
-  EXPECT_EQ(a.stats.messages, b.stats.messages) << label;
-  EXPECT_EQ(a.stats.total_bits, b.stats.total_bits) << label;
-  EXPECT_EQ(a.stats.max_message_bits, b.stats.max_message_bits) << label;
-  EXPECT_EQ(a.metrics, b.metrics) << label;
-}
+const auto& kCases = kEngineCases;
 
 TEST(Sharding, AllEngineClientsBitIdenticalAcrossShardCounts) {
   for (const ShardCase& c : kCases) {
@@ -136,7 +102,9 @@ TEST(ShardPlan, WidthAndCoverage) {
       const ShardPlan plan = plan_shards(n, req);
       ASSERT_GE(plan.count, 1u);
       ASSERT_LE(plan.count, 4096u);
-      if (req >= 1) ASSERT_LE(plan.count, std::max(req, 1u));
+      if (req >= 1) {
+        ASSERT_LE(plan.count, std::max(req, 1u));
+      }
       ASSERT_GE(std::uint64_t{1} << plan.shift, 1024u);
       // Every vertex maps to a shard, ranges tile [0, n) exactly.
       NodeId covered = 0;

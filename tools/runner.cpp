@@ -1,0 +1,96 @@
+// runner: command-line front-end over api::run_one. One run per
+// invocation; prints the per-run JSON record (telemetry block included)
+// to stdout and optionally writes it, plus a Chrome trace, to disk.
+//
+//   runner --generator er:n=1048576,deg=4 --solver israeli_itai
+//          --threads 4 --trace out.json
+//   runner --generator grid:rows=64,cols=64 --solver bipartite_mcm
+//          --lca auto --lca-queries 5000 --json-dir bench/out
+//
+// Flags mirror api::RunSpec; see src/api/runner.hpp for semantics.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "api/runner.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: runner --generator SPEC --solver NAME [options]\n"
+      "  --config KV          solver config (k1=v1,k2=v2)\n"
+      "  --seed N             instance seed (default 1)\n"
+      "  --solver-seed N      solver seed (default 1)\n"
+      "  --threads N          1 = inline, 0 = hardware concurrency\n"
+      "  --shards N           0 = auto (L2-sized), 1 = single shard\n"
+      "  --oracle NAME        auto | none | registry solver\n"
+      "  --feed-oracle        pass the exact optimum to the solver\n"
+      "  --lca NAME           LCA leg: auto | oracle name\n"
+      "  --lca-queries N      0 = every edge once\n"
+      "  --lca-cache N        oracle memo bound (0 = default)\n"
+      "  --dynamic NAME       dynamic leg: greedy | repair | scratch\n"
+      "  --dynamic-stream S   update-stream spec (required with --dynamic)\n"
+      "  --dynamic-config KV  maintainer config\n"
+      "  --trace PATH         write a Chrome/Perfetto trace of the run\n"
+      "  --no-telemetry       skip metric collection (no telemetry block)\n"
+      "  --json-dir DIR       also write the record to DIR\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const lps::Options opts(argc, argv);
+  if (opts.get_bool("help", false) || argc <= 1) {
+    usage();
+    return argc <= 1 ? 2 : 0;
+  }
+  lps::api::RunSpec spec;
+  spec.generator = opts.get("generator", "");
+  spec.solver = opts.get("solver", "");
+  if (spec.generator.empty() || spec.solver.empty()) {
+    usage();
+    return 2;
+  }
+  spec.config = opts.get("config", "");
+  spec.instance_seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  spec.solver_seed =
+      static_cast<std::uint64_t>(opts.get_int("solver-seed", 1));
+  spec.threads = static_cast<unsigned>(opts.get_int("threads", 1));
+  spec.shards = static_cast<unsigned>(opts.get_int("shards", 0));
+  spec.oracle = opts.get("oracle", "auto");
+  spec.feed_oracle = opts.get_bool("feed-oracle", false);
+  spec.lca = opts.get("lca", "");
+  spec.lca_queries =
+      static_cast<std::uint64_t>(opts.get_int("lca-queries", 0));
+  spec.lca_cache = static_cast<std::uint64_t>(opts.get_int("lca-cache", 0));
+  spec.dynamic = opts.get("dynamic", "");
+  spec.dynamic_stream = opts.get("dynamic-stream", "");
+  spec.dynamic_config = opts.get("dynamic-config", "");
+  spec.trace = opts.get("trace", "");
+  spec.telemetry = !opts.get_bool("no-telemetry", false);
+
+  try {
+    const lps::api::RunResult result = lps::api::run_one(spec);
+    std::cout << result.to_json() << "\n";
+    const std::string dir = opts.get("json-dir", "");
+    if (!dir.empty()) {
+      const std::string path = lps::api::write_json(result, dir);
+      std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
+    if (!result.trace_path.empty()) {
+      std::fprintf(stderr, "trace written to %s\n",
+                   result.trace_path.c_str());
+    } else if (!spec.trace.empty()) {
+      std::fprintf(stderr, "runner: failed to write trace to %s\n",
+                   spec.trace.c_str());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "runner: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
