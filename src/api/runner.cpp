@@ -14,6 +14,9 @@
 #include "api/registry.hpp"
 #include "dynamic/matcher.hpp"
 #include "dynamic/stream.hpp"
+#include "faults/injector.hpp"
+#include "faults/recovery.hpp"
+#include "faults/scenarios.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "lca/batch.hpp"
@@ -295,27 +298,28 @@ void run_lca_leg(const RunSpec& spec, const Instance& inst,
   }
 }
 
-/// The dynamic leg: build the update trace, stream it through the
-/// requested maintainer, and measure throughput, recourse, and the
+/// The dynamic leg: stream the pre-built update trace through the
+/// pre-built maintainer and measure throughput, recourse, and the
 /// approximation ratio against a from-scratch registry solve at
 /// checkpoints along the stream. Checkpoint solves run off the clock —
-/// they are measurement, not maintenance.
-void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
-  const dynamic::StreamSpec stream =
-      dynamic::make_update_stream(spec.dynamic_stream, spec.instance_seed);
-  auto matcher = dynamic::make_matcher(
-      spec.dynamic, dynamic::DynamicGraph(stream.initial_nodes),
-      spec.dynamic_config.empty()
-          ? std::map<std::string, std::string>{}
-          : parse_kv_list(spec.dynamic_config));
-  out.dynamic_maintainer = matcher->name();
+/// they are measurement, not maintenance. Stream and maintainer are
+/// constructed (and their specs rejected) eagerly in run_one so every
+/// malformed spec fails before any solve work, on the same path.
+/// When `fault_plan` carries graph-layer faults, a FaultSession runs
+/// its crash/recover + adversarial-delete epochs against the maintained
+/// state after the stream, landing the degradation metrics in the
+/// fault_* fields.
+void run_dynamic_leg(const RunSpec& spec, const faults::FaultPlan& fault_plan,
+                     const dynamic::StreamSpec& stream,
+                     dynamic::DynamicMatcher& matcher, RunResult& out) {
+  out.dynamic_maintainer = matcher.name();
 
   // Exact baseline while affordable, certified-reference greedy beyond.
   // Decided per checkpoint from the *current* snapshot: growing streams
   // (pa, vertex churn) must not drag the O(n^3)-class exact oracle to
   // scales it was never meant for just because the stream started small.
   const auto ratio_now = [&]() {
-    const dynamic::Snapshot snap = matcher->graph().snapshot();
+    const dynamic::Snapshot snap = matcher.graph().snapshot();
     out.dynamic_baseline =
         snap.graph.num_nodes() <= 400 ? "blossom" : "greedy_mcm";
     if (snap.graph.num_edges() == 0) return 1.0;
@@ -325,7 +329,7 @@ void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
         SolverRegistry::global().at(out.dynamic_baseline).solve(
             Instance::unweighted(snap.graph), config);
     if (solved.matching.size() == 0) return 1.0;
-    return static_cast<double>(matcher->matching_size()) /
+    return static_cast<double>(matcher.matching_size()) /
            static_cast<double>(solved.matching.size());
   };
 
@@ -336,10 +340,10 @@ void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
   const std::uint64_t total = stream.trace.size();
   const std::uint64_t bootstrap = stream.bootstrap;
   for (std::uint64_t i = 0; i < bootstrap; ++i) {
-    matcher->apply(stream.trace[i]);
+    matcher.apply(stream.trace[i]);
   }
   const std::uint64_t measured = total - bootstrap;
-  const std::uint64_t recourse_before = matcher->stats().recourse;
+  const std::uint64_t recourse_before = matcher.stats().recourse;
   std::uint64_t next_checkpoint =
       spec.dynamic_checkpoints > 0
           ? std::max<std::uint64_t>(1, measured / spec.dynamic_checkpoints)
@@ -349,7 +353,7 @@ void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
   std::chrono::steady_clock::duration applied{0};
   for (std::uint64_t i = 0; i < measured; ++i) {
     const auto t0 = std::chrono::steady_clock::now();
-    matcher->apply(stream.trace[bootstrap + i]);
+    matcher.apply(stream.trace[bootstrap + i]);
     applied += std::chrono::steady_clock::now() - t0;
     if (i + 1 >= next_checkpoint && i + 1 < measured) {
       next_checkpoint += checkpoint_step;
@@ -358,7 +362,7 @@ void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
   }
   {
     const auto t0 = std::chrono::steady_clock::now();
-    matcher->flush();
+    matcher.flush();
     applied += std::chrono::steady_clock::now() - t0;
   }
 
@@ -368,22 +372,43 @@ void run_dynamic_leg(const RunSpec& spec, RunResult& out) {
   out.dynamic_updates_per_sec =
       secs > 0.0 ? static_cast<double>(measured) / secs : 0.0;
   out.dynamic_recourse_per_update =
-      measured > 0 ? static_cast<double>(matcher->stats().recourse -
+      measured > 0 ? static_cast<double>(matcher.stats().recourse -
                                          recourse_before) /
                          static_cast<double>(measured)
                    : 0.0;
-  out.dynamic_final_size = matcher->matching_size();
-  out.dynamic_final_edges = matcher->graph().num_live_edges();
+  out.dynamic_final_size = matcher.matching_size();
+  out.dynamic_final_edges = matcher.graph().num_live_edges();
   if (spec.dynamic_checkpoints > 0) {
     out.dynamic_ratio = ratio_now();
     out.dynamic_ratio_min = std::min(ratio_min, out.dynamic_ratio);
   }
   try {
-    matcher->check_matching();
-    matcher->graph().check_invariants();
+    matcher.check_matching();
+    matcher.graph().check_invariants();
     out.dynamic_valid = true;
   } catch (const std::logic_error&) {
     out.dynamic_valid = false;
+  }
+
+  // Graph-layer fault epochs run against the post-stream state, so the
+  // dynamic_* fields above describe the churn phase and the fault_*
+  // fields describe degradation and recovery relative to it.
+  if (fault_plan.graph_faults() && fault_plan.epochs > 0) {
+    faults::FaultSession session(matcher, fault_plan, spec.solver_seed);
+    const faults::SessionResult s = session.run();
+    out.fault_epochs = s.epochs.size();
+    out.fault_all_valid = s.all_valid;
+    out.fault_min_ratio = s.min_ratio;
+    out.fault_final_ratio = s.final_ratio;
+    out.fault_final_valid = s.final_valid;
+    out.fault_baseline_size = s.baseline_size;
+    out.fault_crashed = s.crashed;
+    out.fault_revived = s.revived;
+    out.fault_adversarial = s.adversarial;
+    out.fault_reinserted = s.reinserted;
+    out.fault_recourse = s.total_recourse;
+    out.fault_recovery_p50_ns = s.recovery_p50_ns;
+    out.fault_recovery_p99_ns = s.recovery_p99_ns;
   }
 }
 
@@ -404,6 +429,7 @@ struct TelemetrySnap {
   std::size_t series_size = 0;
   telemetry::HistogramSnapshot lca_query_ns;
   telemetry::HistogramSnapshot dyn_update_ns;
+  telemetry::HistogramSnapshot fault_recovery_ns;
 };
 
 TelemetrySnap snap_telemetry() {
@@ -423,6 +449,7 @@ TelemetrySnap snap_telemetry() {
   telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
   s.lca_query_ns = reg.histogram("lca.query_ns").snapshot();
   s.dyn_update_ns = reg.histogram("dynamic.update_ns").snapshot();
+  s.fault_recovery_ns = reg.histogram("faults.recovery_ns").snapshot();
   return s;
 }
 
@@ -527,6 +554,12 @@ TelemetrySummary summarize_telemetry(const TelemetrySnap& before,
     t.dynamic_update_ns_p50 = dyn.percentile(50);
     t.dynamic_update_ns_p99 = dyn.percentile(99);
   }
+  telemetry::HistogramSnapshot rec = end.fault_recovery_ns;
+  rec -= before.fault_recovery_ns;
+  if (rec.count > 0) {
+    t.faults_recovery_ns_p50 = rec.percentile(50);
+    t.faults_recovery_ns_p99 = rec.percentile(99);
+  }
   return t;
 }
 
@@ -552,12 +585,52 @@ RunResult run_one(const RunSpec& spec) {
   // Likewise `shards=`; 0 means auto in both places, so only a nonzero
   // config entry can differ from the RunSpec default.
   if (config.shards() == 0) config.shards(spec.shards);
+  // Fault plan: parsed — and rejected — before any solve work, on the
+  // same error path as generator and config typos, so the runner's
+  // one-line-diagnostic contract holds for fault specs too.
+  const faults::FaultPlan fault_plan = faults::make_fault_plan(spec.faults);
+#if !LPS_FAULTS
+  if (fault_plan.any()) {
+    throw std::invalid_argument("run_one: fault plan '" + fault_plan.name +
+                                "' requested but the library was built with "
+                                "-DLPS_FAULTS=0");
+  }
+#endif
+  if (fault_plan.message_faults()) {
+    const std::vector<std::string> keys = solver.config_keys();
+    if (std::find(keys.begin(), keys.end(), "faults") == keys.end()) {
+      throw std::invalid_argument("run_one: solver '" + spec.solver +
+                                  "' does not take message-layer faults "
+                                  "(no 'faults' config key)");
+    }
+    config.set("faults", spec.faults);
+  }
+  if (fault_plan.graph_faults() && spec.dynamic.empty()) {
+    throw std::invalid_argument(
+        "run_one: fault plan '" + fault_plan.name +
+        "' has graph-layer faults (flap/adversarial) but no dynamic leg; "
+        "set dynamic and dynamic_stream");
+  }
   // Fail everything solve() would reject before the (possibly O(n^3))
   // oracle run below: config typos and instance-shape mismatches.
   solver.validate(inst, config);
-  if (!spec.dynamic.empty() && spec.dynamic_stream.empty()) {
-    throw std::invalid_argument(
-        "run_one: dynamic leg requires a dynamic_stream spec");
+  // The dynamic leg's specs get the same eager treatment: stream typos,
+  // unknown maintainer names, and bad maintainer configs all fail here,
+  // on the one error path, not after the solve already ran.
+  std::optional<dynamic::StreamSpec> dyn_stream;
+  std::unique_ptr<dynamic::DynamicMatcher> dyn_matcher;
+  if (!spec.dynamic.empty()) {
+    if (spec.dynamic_stream.empty()) {
+      throw std::invalid_argument(
+          "run_one: dynamic leg requires a dynamic_stream spec");
+    }
+    dyn_stream =
+        dynamic::make_update_stream(spec.dynamic_stream, spec.instance_seed);
+    dyn_matcher = dynamic::make_matcher(
+        spec.dynamic, dynamic::DynamicGraph(dyn_stream->initial_nodes),
+        spec.dynamic_config.empty()
+            ? std::map<std::string, std::string>{}
+            : parse_kv_list(spec.dynamic_config));
   }
   std::unique_ptr<ThreadPool> pool;
   if (spec.threads != 1) {
@@ -567,6 +640,7 @@ RunResult run_one(const RunSpec& spec) {
 
   RunResult out;
   out.spec = spec;
+  if (fault_plan.any()) out.fault_plan = fault_plan.to_spec();
   out.n = inst.graph().num_nodes();
   out.m = inst.graph().num_edges();
   out.max_degree = inst.graph().max_degree();
@@ -657,7 +731,7 @@ RunResult run_one(const RunSpec& spec) {
     run_lca_leg(spec, inst, config, result.matching, pool.get(), out);
   }
   if (!spec.dynamic.empty()) {
-    run_dynamic_leg(spec, out);
+    run_dynamic_leg(spec, fault_plan, *dyn_stream, *dyn_matcher, out);
   }
   if (want_metrics) {
     out.telemetry = summarize_telemetry(t_before, t_solve, snap_telemetry());
@@ -725,6 +799,10 @@ std::string RunResult::to_json() const {
       tel.add("dynamic_update_ns_p50", telemetry.dynamic_update_ns_p50)
           .add("dynamic_update_ns_p99", telemetry.dynamic_update_ns_p99);
     }
+    if (telemetry.faults_recovery_ns_p50 > 0.0) {
+      tel.add("faults_recovery_ns_p50", telemetry.faults_recovery_ns_p50)
+          .add("faults_recovery_ns_p99", telemetry.faults_recovery_ns_p99);
+    }
     if (!trace_path.empty()) tel.add("trace_path", trace_path);
   }
   JsonObject o;
@@ -774,6 +852,22 @@ std::string RunResult::to_json() const {
       .add("dynamic_ratio_min", dynamic_ratio_min)
       .add("dynamic_baseline", dynamic_baseline)
       .add("dynamic_valid", dynamic_valid)
+      .add("faults", spec.faults)
+      .add("fault_plan", fault_plan)
+      .add("fault_epochs", fault_epochs)
+      .add("fault_all_valid", fault_all_valid)
+      .add("fault_min_ratio", fault_min_ratio)
+      .add("fault_final_ratio", fault_final_ratio)
+      .add("fault_final_valid", fault_final_valid)
+      .add("fault_baseline_size",
+           static_cast<std::uint64_t>(fault_baseline_size))
+      .add("fault_crashed", fault_crashed)
+      .add("fault_revived", fault_revived)
+      .add("fault_adversarial", fault_adversarial)
+      .add("fault_reinserted", fault_reinserted)
+      .add("fault_recourse", fault_recourse)
+      .add("fault_recovery_p50_ns", fault_recovery_p50_ns)
+      .add("fault_recovery_p99_ns", fault_recovery_p99_ns)
       .add("provenance", provenance_json(Provenance{
                              prov_git_sha, prov_build_type, prov_threads,
                              prov_timestamp_utc}))
@@ -811,6 +905,7 @@ std::string write_json(const RunResult& result, const std::string& dir,
       }
       stem += "-cp" + std::to_string(result.spec.dynamic_checkpoints);
     }
+    if (!result.spec.faults.empty()) stem += "__f-" + result.spec.faults;
   }
   for (char& c : stem) {
     if (c == ':' || c == ',' || c == '=' || c == '/' || c == ' ') c = '-';

@@ -83,6 +83,18 @@ struct RunSpec {
   /// Approximation-vs-time sample points along the stream (snapshots
   /// re-solved through the registry); 0 disables the ratio columns.
   std::uint64_t dynamic_checkpoints = 8;
+  /// Fault-injection spec ("" = fault-free): a registered preset name
+  /// (src/faults/scenarios) or an explicit `name:key=value,...` plan.
+  /// Message-layer faults (drop/dup/delay/reorder) are forwarded to the
+  /// solver through its `faults` config key — the run rejects solvers
+  /// without one up front. Graph-layer faults (flap/adversarial epochs)
+  /// require the dynamic leg: after the update stream a FaultSession
+  /// runs `epochs` crash/recover + adversarial-delete epochs against
+  /// the maintainer and lands the degradation metrics in the fault_*
+  /// fields. Malformed specs throw std::invalid_argument before any
+  /// solve work; any fault request throws when the library was built
+  /// with -DLPS_FAULTS=0.
+  std::string faults;
   /// Collect per-phase metrics (src/telemetry) during the run and attach
   /// the `telemetry` block to the JSON record. One predictable branch
   /// per engine phase; set false for overhead-sensitive measurement.
@@ -131,6 +143,8 @@ struct TelemetrySummary {
   double lca_query_ns_p99 = 0.0;
   double dynamic_update_ns_p50 = 0.0;
   double dynamic_update_ns_p99 = 0.0;
+  double faults_recovery_ns_p50 = 0.0;
+  double faults_recovery_ns_p99 = 0.0;
 };
 
 struct RunResult {
@@ -194,6 +208,25 @@ struct RunResult {
   double dynamic_ratio_min = -1.0;
   std::string dynamic_baseline;  // registry solver used for the ratio
   bool dynamic_valid = false;    // final matching audit passed
+  // Fault-injection leg (inert unless spec.faults was set). The
+  // headline degradation metrics: every epoch-end audit must pass
+  // (fault_all_valid), and fault_min_ratio is the worst epoch-end
+  // matching size against the fault-free baseline captured when the
+  // session started (-1 when no fault epochs ran).
+  std::string fault_plan;   // canonical plan echo ("" = fault-free)
+  std::uint64_t fault_epochs = 0;       // fault epochs actually run
+  bool fault_all_valid = true;
+  double fault_min_ratio = -1.0;
+  double fault_final_ratio = -1.0;      // after the terminal heal
+  bool fault_final_valid = true;
+  std::size_t fault_baseline_size = 0;
+  std::uint64_t fault_crashed = 0;      // vertices crashed, all epochs
+  std::uint64_t fault_revived = 0;
+  std::uint64_t fault_adversarial = 0;  // matched edges adversary cut
+  std::uint64_t fault_reinserted = 0;   // parked edges restored
+  std::uint64_t fault_recourse = 0;     // matched-edge flips, all epochs
+  std::uint64_t fault_recovery_p50_ns = 0;  // per-epoch recovery latency
+  std::uint64_t fault_recovery_p99_ns = 0;
   // Per-run telemetry digest (enabled=false when spec.telemetry was
   // off or the library was built with LPS_TELEMETRY=0).
   TelemetrySummary telemetry;

@@ -137,8 +137,11 @@ void register_core(SolverRegistry& reg) {
       "O(log n) rounds w.h.p.) [Israeli & Itai 1986]",
       {.bipartite = true, .general = true, .distributed = true,
        .maximal = true},
-      {"max_phases"},
+      {"max_phases", "faults"},
       [](const SolverConfig& c) {
+        // Under injected faults maximality is best-effort (resync may
+        // exhaust its budget), so the 1/2 guarantee no longer applies.
+        if (!c.get("faults", "").empty()) return 0.0;
         return truncated(c, {"max_phases"}) ? 0.0 : 0.5;
       },
       [](const Instance& inst, const SolverConfig& cfg) {
@@ -147,8 +150,12 @@ void register_core(SolverRegistry& reg) {
         o.max_phases = static_cast<std::uint64_t>(cfg.get_int("max_phases", 0));
         o.pool = cfg.pool();
         o.shards = cfg.shards();
+        o.faults = cfg.get("faults", "");
         auto res = israeli_itai(inst.graph(), o);
-        return make_result(std::move(res.matching), res.stats, res.converged);
+        SolveResult out =
+            make_result(std::move(res.matching), res.stats, res.converged);
+        out.metrics["resyncs"] = static_cast<double>(res.resyncs);
+        return out;
       });
 
   add(reg, "generic_mcm",

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "faults/injector.hpp"
 #include "runtime/engine.hpp"
 
 namespace lps {
@@ -79,6 +80,9 @@ DistMatchingResult israeli_itai(const Graph& g,
   net.set_thread_pool(opts.pool);
   net.set_shards(opts.shards);
   net.step_all_nodes(opts.step_all_nodes);
+  const std::unique_ptr<faults::MessageFaultInjector> injector =
+      faults::make_message_injector(opts.faults, opts.seed);
+  if (injector != nullptr) net.set_message_faults(injector.get());
 
   const std::uint64_t max_phases = opts.max_phases != 0
                                        ? opts.max_phases
@@ -187,13 +191,74 @@ DistMatchingResult israeli_itai(const Graph& g,
     }
   }
 
+  // Resync under message faults: a dropped or belated accept leaves a
+  // handshake half-committed — the acceptor believes it is matched on an
+  // edge the proposer never claimed (or claimed differently). Reconcile
+  // by freeing every vertex whose partner disagrees, refreshing the
+  // free-flags in both directions around the freed region, and waking
+  // exactly that neighborhood for a short burst of extra phases: local
+  // repair, not a restart. Faults stay live during the burst, so sweep
+  // until agreement or the budget runs out.
+  std::uint32_t resyncs = 0;
+  if (injector != nullptr) {
+    for (std::uint32_t sweep = 0; sweep < opts.max_resyncs; ++sweep) {
+      std::vector<NodeId> perturbed;
+      for (NodeId v = 0; v < n; ++v) {
+        const EdgeId e = matched_edge[v];
+        if (e == kInvalidEdge) continue;
+        if (matched_edge[g.other_endpoint(e, v)] != e) perturbed.push_back(v);
+      }
+      if (perturbed.empty()) break;
+      ++resyncs;
+      for (const NodeId v : perturbed) {
+        matched_edge[v] = kInvalidEdge;
+        proposal_edge[v] = kInvalidEdge;
+      }
+      for (const NodeId v : perturbed) {
+        net.activate(v);
+        const auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+          const NodeId w = nbrs[i].to;
+          neighbor_free[adj_offset[v] + i] =
+              matched_edge[w] == kInvalidEdge ? 1 : 0;
+          // w's slot for v: v is free again (undoes a kMatched announce).
+          const auto wnbrs = g.neighbors(w);
+          for (std::size_t j = 0; j < wnbrs.size(); ++j) {
+            if (wnbrs[j].to == v) {
+              neighbor_free[adj_offset[w] + j] = 1;
+              break;
+            }
+          }
+          net.activate(w);
+        }
+      }
+      constexpr std::uint64_t kResyncPhases = 8;
+      for (std::uint64_t phase = 0; phase < kResyncPhases; ++phase) {
+        std::fill(had_candidates.begin(), had_candidates.end(), 0);
+        net.run_round(step);  // stage 0
+        net.run_round(step);  // stage 1
+        net.run_round(step);  // stage 2
+        bool any = false;
+        for (NodeId v = 0; v < n; ++v) any = any || had_candidates[v];
+        if (!any) break;
+      }
+    }
+  }
+
   DistMatchingResult out;
   out.stats = net.stats();
   out.converged = converged;
+  out.resyncs = resyncs;
   std::vector<EdgeId> ids;
   for (NodeId v = 0; v < n; ++v) {
     const EdgeId e = matched_edge[v];
-    if (e != kInvalidEdge && g.edge(e).u == v) ids.push_back(e);
+    if (e == kInvalidEdge || g.edge(e).u != v) continue;
+    // Count the edge only when both endpoints claim it. Fault-free
+    // executions always agree (the handshake is the agreement), so this
+    // filter is vacuous there; under an exhausted resync budget it still
+    // guarantees a valid matching: each vertex claims at most one edge,
+    // so mutually-claimed edges can never share an endpoint.
+    if (matched_edge[g.edge(e).v] == e) ids.push_back(e);
   }
   out.matching = Matching::from_edges(g, ids);
   return out;

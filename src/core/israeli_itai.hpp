@@ -43,6 +43,18 @@ struct IsraeliItaiOptions {
   /// execution bit for bit; costs O(n) per round instead of O(free
   /// nodes + traffic)). Exposed for the equivalence test.
   bool step_all_nodes = false;
+  /// Fault-injection spec ("" = fault-free): a preset name or an
+  /// explicit `name:key=value,...` plan (src/faults). Message faults
+  /// apply at the engine's channel exchange; after the round budget a
+  /// reconciliation/resync loop repairs half-committed handshakes (a
+  /// dropped accept leaves an acceptor matched to a proposer that never
+  /// learned of it) by freeing the disagreeing vertices, re-opening
+  /// exactly their neighborhoods, and running more phases — never by
+  /// restarting. The returned matching is valid under any fault rate;
+  /// maximality is best-effort once messages can be lost.
+  std::string faults;
+  /// Cap on resync sweeps (each sweep: reconcile + a burst of phases).
+  std::uint32_t max_resyncs = 8;
 };
 
 struct DistMatchingResult {
@@ -51,6 +63,9 @@ struct DistMatchingResult {
   /// True iff the protocol went silent (matching maximal on the active
   /// subgraph) before the phase cap.
   bool converged = false;
+  /// Resync sweeps that found (and repaired) half-committed handshakes;
+  /// always 0 in fault-free runs.
+  std::uint32_t resyncs = 0;
 };
 
 DistMatchingResult israeli_itai(const Graph& g,

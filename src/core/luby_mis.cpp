@@ -1,7 +1,9 @@
 #include "core/luby_mis.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "faults/injector.hpp"
 #include "runtime/engine.hpp"
 
 namespace lps {
@@ -28,6 +30,69 @@ using MisNet = SyncNetwork<MisMessage, MisBits>;
 
 enum class NodeState : std::uint8_t { kLive, kIn, kOut };
 
+/// Shared MIS reconciliation under message faults (luby + abi). Message
+/// loss can admit two adjacent winners (a dropped value/mark hides the
+/// competitor) or leave a node eliminated by a winner that is itself
+/// being demoted. Each sweep restores a consistent closure — demote the
+/// larger-id member of every adjacent kIn pair, then recompute kOut iff
+/// dominated by a surviving kIn — wakes the live region, and re-runs
+/// protocol phases via `run_burst`. Faults stay live during bursts, so
+/// sweeps repeat up to `max_resyncs`; a final enforcement pass makes
+/// independence unconditional even on an exhausted budget (maximality
+/// is then best-effort). Returns the number of corrective sweeps.
+template <typename Net, typename RunBurst>
+std::uint32_t mis_resync(const Graph& g, std::vector<NodeState>& state,
+                         Net& net, std::uint32_t max_resyncs,
+                         RunBurst&& run_burst) {
+  const NodeId n = g.num_nodes();
+  std::uint32_t resyncs = 0;
+  for (std::uint32_t sweep = 0; sweep < max_resyncs; ++sweep) {
+    bool changed = false;
+    for (const Edge& e : g.edges()) {
+      if (state[e.u] == NodeState::kIn && state[e.v] == NodeState::kIn) {
+        state[std::max(e.u, e.v)] = NodeState::kLive;
+        changed = true;
+      }
+    }
+    std::vector<NodeId> live;
+    for (NodeId v = 0; v < n; ++v) {
+      if (state[v] == NodeState::kIn) continue;
+      bool dominated = false;
+      for (const Graph::Incidence& inc : g.neighbors(v)) {
+        if (state[inc.to] == NodeState::kIn) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        if (state[v] == NodeState::kLive) {
+          state[v] = NodeState::kOut;
+          changed = true;
+        }
+      } else {
+        if (state[v] == NodeState::kOut) {
+          state[v] = NodeState::kLive;
+          changed = true;
+        }
+        if (state[v] == NodeState::kLive) live.push_back(v);
+      }
+    }
+    // No live nodes after reconciliation: independent and maximal.
+    if (live.empty()) break;
+    if (changed) ++resyncs;
+    for (const NodeId v : live) net.activate(v);
+    run_burst();
+  }
+  // Unconditional independence, even when the sweep budget ran out with
+  // faults still minting conflicts.
+  for (const Edge& e : g.edges()) {
+    if (state[e.u] == NodeState::kIn && state[e.v] == NodeState::kIn) {
+      state[std::max(e.u, e.v)] = NodeState::kOut;
+    }
+  }
+  return resyncs;
+}
+
 }  // namespace
 
 MisResult luby_mis(const Graph& g, const MisOptions& opts) {
@@ -38,6 +103,9 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
   MisNet net(g, opts.seed, MisBits{});
   net.set_thread_pool(opts.pool);
   net.set_shards(opts.shards);
+  const std::unique_ptr<faults::MessageFaultInjector> injector =
+      faults::make_message_injector(opts.faults, opts.seed);
+  if (injector != nullptr) net.set_message_faults(injector.get());
 
   const std::uint64_t max_phases =
       opts.max_phases != 0
@@ -94,6 +162,19 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
       break;
     }
   }
+  if (injector != nullptr) {
+    out.resyncs = mis_resync(g, state, net, opts.max_resyncs, [&] {
+      for (std::uint64_t phase = 0; phase < 8; ++phase) {
+        net.run_round(step);
+        net.run_round(step);
+        bool any_live = false;
+        for (NodeId v = 0; v < n; ++v) {
+          any_live = any_live || state[v] == NodeState::kLive;
+        }
+        if (!any_live) break;
+      }
+    });
+  }
   out.stats = net.stats();
   out.in_mis.assign(n, 0);
   for (NodeId v = 0; v < n; ++v) {
@@ -131,6 +212,9 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
   AbiNet net(g, opts.seed, AbiBits{});
   net.set_thread_pool(opts.pool);
   net.set_shards(opts.shards);
+  const std::unique_ptr<faults::MessageFaultInjector> injector =
+      faults::make_message_injector(opts.faults, opts.seed);
+  if (injector != nullptr) net.set_message_faults(injector.get());
 
   const std::uint64_t max_phases =
       opts.max_phases != 0
@@ -206,6 +290,23 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
       out.converged = true;
       break;
     }
+  }
+  if (injector != nullptr) {
+    // live_degree may be stale after reconciliation (dropped kDead
+    // notices); it only biases marking probabilities and tie-breaks, so
+    // the re-run stays correct, just possibly slower.
+    out.resyncs = mis_resync(g, state, net, opts.max_resyncs, [&] {
+      for (std::uint64_t phase = 0; phase < 8; ++phase) {
+        net.run_round(step);
+        net.run_round(step);
+        net.run_round(step);
+        bool any_live = false;
+        for (NodeId v = 0; v < n; ++v) {
+          any_live = any_live || state[v] == NodeState::kLive;
+        }
+        if (!any_live) break;
+      }
+    });
   }
   out.stats = net.stats();
   out.in_mis.assign(n, 0);

@@ -128,6 +128,23 @@ void DynamicGraph::remove_vertex(NodeId v) {
   pristine_ = false;
 }
 
+void DynamicGraph::revive_vertex(NodeId v) {
+  if (v >= node_alive_.size()) {
+    throw std::invalid_argument(
+        "DynamicGraph::revive_vertex: unallocated vertex id");
+  }
+  if (node_alive_[v] != 0) {
+    throw std::invalid_argument(
+        "DynamicGraph::revive_vertex: vertex is alive");
+  }
+  // A dead vertex's row is always empty (remove_vertex deleted every
+  // incident edge, materializing the row if it had base edges), so the
+  // sorted-incidence invariant holds trivially on revival.
+  node_alive_[v] = 1;
+  ++live_nodes_;
+  pristine_ = false;
+}
+
 std::int32_t DynamicGraph::materialize(NodeId v) {
   std::int32_t ov = overlay_of_[v];
   if (ov >= 0) return ov;

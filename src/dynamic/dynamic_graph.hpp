@@ -118,6 +118,11 @@ class DynamicGraph {
   /// Deletes all incident edges, then kills the vertex. O(sum of
   /// endpoint degrees). Throws std::invalid_argument on dead ids.
   void remove_vertex(NodeId v);
+  /// Bring a removed vertex back to life under its old id, isolated
+  /// (remove_vertex deleted its incident edges; re-inserting them is
+  /// the caller's recovery protocol — see faults/recovery.hpp). O(1).
+  /// Throws std::invalid_argument on unallocated or live ids.
+  void revive_vertex(NodeId v);
   /// Insert (u, v) with weight `w` (> 0, finite). O(deg(u) + deg(v)).
   /// Throws std::invalid_argument on self-loops, dead endpoints,
   /// duplicate edges, or bad weights. Edge ids are recycled.

@@ -108,6 +108,11 @@ void DynamicMatcher::apply(const Update& up) {
       g_.set_weight(e, up.weight);
       break;
     }
+    case UpdateKind::kReviveVertex: {
+      g_.revive_vertex(up.u);  // throws on live/unallocated ids
+      on_vertex_revived(up.u);
+      break;
+    }
   }
   ++stats_.updates;
   after_update();
@@ -290,6 +295,14 @@ void RepairDynamicMatcher::on_deleted(NodeId u, NodeId v, bool was_matched) {
 
 void RepairDynamicMatcher::on_vertex_removed(NodeId /*v*/, NodeId former_mate) {
   if (former_mate != kInvalidNode) mark_dirty(former_mate);
+}
+
+void RepairDynamicMatcher::on_vertex_revived(NodeId v) {
+  // The vertex comes back isolated, but the recovery protocol is about
+  // to re-insert its edges: seed the dirty set so the next repair pass
+  // searches from here (and escalates to a rebuild if a crash batch
+  // dirtied more than rebuild_frac of the graph).
+  mark_dirty(v);
 }
 
 void RepairDynamicMatcher::after_update() {

@@ -100,6 +100,10 @@ class DynamicMatcher {
   /// Called after vertex v (and its incident edges) were removed;
   /// former_mate is the vertex freed by the removal (or kInvalidNode).
   virtual void on_vertex_removed(NodeId v, NodeId former_mate) = 0;
+  /// Called after a removed vertex came back to life (isolated; its
+  /// edges re-enter as ordinary inserts). Default: nothing to do — a
+  /// degree-0 vertex never violates a matching invariant.
+  virtual void on_vertex_revived(NodeId) {}
   /// Called once per update after the kind-specific hook (lazy
   /// maintainers schedule periodic work here).
   virtual void after_update() {}
@@ -163,6 +167,9 @@ class RepairDynamicMatcher final : public DynamicMatcher {
   void on_insert(EdgeId e) override;
   void on_deleted(NodeId u, NodeId v, bool was_matched) override;
   void on_vertex_removed(NodeId v, NodeId former_mate) override;
+  /// Crash/recover batches are dirty-sets: a revived vertex's
+  /// neighborhood is exactly where augmenting paths reopen.
+  void on_vertex_revived(NodeId v) override;
   void after_update() override;
 
  private:

@@ -21,6 +21,7 @@ const char* to_string(UpdateKind k) {
     case UpdateKind::kAddVertex: return "add_vertex";
     case UpdateKind::kRemoveVertex: return "remove_vertex";
     case UpdateKind::kSetWeight: return "set_weight";
+    case UpdateKind::kReviveVertex: return "revive_vertex";
   }
   return "?";
 }

@@ -44,13 +44,16 @@ enum class UpdateKind : std::uint8_t {
   kAddVertex,
   kRemoveVertex,
   kSetWeight,
+  /// Bring a removed vertex back (isolated) under its old id — the
+  /// recover half of a crash/recover flap (faults/recovery.hpp).
+  kReviveVertex,
 };
 
 const char* to_string(UpdateKind k);
 
-/// One mutation. Edge ops name endpoints (u, v); kRemoveVertex names
-/// the vertex in `u`; kAddVertex carries no operands (the new vertex
-/// gets the next fresh id).
+/// One mutation. Edge ops name endpoints (u, v); kRemoveVertex and
+/// kReviveVertex name the vertex in `u`; kAddVertex carries no operands
+/// (the new vertex gets the next fresh id).
 struct Update {
   UpdateKind kind = UpdateKind::kInsertEdge;
   NodeId u = kInvalidNode;

@@ -1,0 +1,54 @@
+#include "faults/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace lps::faults {
+
+const std::vector<FaultScenario>& fault_scenarios() {
+  static const std::vector<FaultScenario> kScenarios = {
+      {"drop10", "drop10:drop=0.1", true,
+       "10% of messages silently dropped at the channel exchange"},
+      {"dup5", "dup5:dup=0.05", false,
+       "5% of messages delivered twice in their round"},
+      {"delay4", "delay4:delay=4,delay_p=0.25", false,
+       "25% of messages held back 1-4 extra rounds"},
+      {"reorder", "reorder:reorder=true", false,
+       "every inbox shuffled deterministically each round"},
+      {"flap1", "flap1:flap=0.01,down=1,epochs=4", true,
+       "1% of live vertices crash per epoch, revive one epoch later"},
+      {"advdel", "advdel:adversarial=0.05,epochs=4", false,
+       "adaptive adversary deletes 5% of currently-matched edges per epoch"},
+      {"chaos",
+       "chaos:drop=0.1,dup=0.05,delay=4,delay_p=0.2,reorder=true,"
+       "flap=0.01,adversarial=0.02,epochs=4",
+       true, "every fault family at once"},
+  };
+  return kScenarios;
+}
+
+bool is_fault_preset(const std::string& name) {
+  for (const FaultScenario& s : fault_scenarios()) {
+    if (name == s.name) return true;
+  }
+  return false;
+}
+
+FaultPlan make_fault_plan(const std::string& spec) {
+  if (spec.empty()) return FaultPlan{};
+  if (spec.find(':') == std::string::npos) {
+    for (const FaultScenario& s : fault_scenarios()) {
+      if (spec == s.name) return parse_fault_plan(s.spec);
+    }
+    std::string known;
+    for (const FaultScenario& s : fault_scenarios()) {
+      if (!known.empty()) known += ", ";
+      known += s.name;
+    }
+    throw std::invalid_argument("fault plan: unknown preset '" + spec +
+                                "' (known: " + known +
+                                "; or pass an explicit 'name:key=value,...')");
+  }
+  return parse_fault_plan(spec);
+}
+
+}  // namespace lps::faults

@@ -1,0 +1,40 @@
+// Failure-scenario registry: named fault profiles, table-driven in the
+// bench_theorems style. Benches and tests iterate fault_scenarios() so
+// coverage grows as a cross-product (maintainer x oracle x profile)
+// instead of one bespoke bench per failure idea; `smoke` marks the
+// subset CI runs under sanitizers.
+//
+// make_fault_plan() is the single entry point for every fault spec in
+// the system: a bare name resolves a registered preset, anything with a
+// ':' parses as an explicit `name:key=value,...` plan (fault_plan.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace lps::faults {
+
+/// One registered failure profile.
+struct FaultScenario {
+  const char* name;
+  const char* spec;
+  bool smoke;  // part of the CI sanitizer smoke subset
+  const char* description;
+};
+
+/// The registry, in presentation order. Profiles stay within the
+/// acceptance envelope: drop <= 10%, dup <= 5%, delay <= 4 rounds,
+/// 1% vertex flaps, adversarial delete-matched.
+const std::vector<FaultScenario>& fault_scenarios();
+
+/// True when `name` matches a registered scenario.
+bool is_fault_preset(const std::string& name);
+
+/// Resolve `spec` into a plan: "" -> the inert plan, a bare registered
+/// name -> its preset, otherwise an explicit `name:key=value,...` plan.
+/// Throws std::invalid_argument on unknown presets or malformed plans.
+FaultPlan make_fault_plan(const std::string& spec);
+
+}  // namespace lps::faults

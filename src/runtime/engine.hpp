@@ -75,6 +75,7 @@
 #include <utility>
 #include <vector>
 
+#include "faults/injector.hpp"
 #include "graph/graph.hpp"
 #include "runtime/round_stats.hpp"
 #include "runtime/shard.hpp"
@@ -214,6 +215,21 @@ class SyncNetwork {
   /// activate()d nodes (plus receivers — vacuous in round 0).
   void restrict_initial_active() noexcept { initial_restricted_ = true; }
 
+  /// Attach a message-fault injector (nullptr = fault-free, the
+  /// default; the injector is not owned and must outlive the network).
+  /// Faults apply at the channel exchange: sends still succeed and are
+  /// metered, but delivery may drop, duplicate, or delay the message.
+  /// Fates are a pure function of (injector seed, channel, round), so
+  /// executions stay bit-identical across thread and shard counts. A
+  /// no-op when the library is built with -DLPS_FAULTS=0.
+  void set_message_faults(faults::MessageFaultInjector* injector) noexcept {
+#if LPS_FAULTS
+    faults_ = injector;
+#else
+    (void)injector;
+#endif
+  }
+
   const NetStats& stats() const noexcept { return stats_; }
   std::uint64_t round() const noexcept { return round_; }
 
@@ -314,6 +330,11 @@ class SyncNetwork {
     stats_.messages += sent;
     stats_.total_bits += bits;
     pending_ = sent;
+#if LPS_FAULTS
+    // Held-back messages count as in flight: run(stop_when_silent) must
+    // not declare the network silent while deliveries are still due.
+    pending_ += delayed_.size();
+#endif
     ++round_;
 
     if (tel) {
@@ -366,6 +387,7 @@ class SyncNetwork {
   /// ride along — so the delivery phases never consult the graph.
   struct SendRec {
     std::uint32_t key;  // position in the receiver's incidence list
+    std::uint32_t seq;  // round the message was sent (inbox tiebreak)
     NodeId from;
     NodeId to;
     EdgeId edge;
@@ -374,9 +396,15 @@ class SyncNetwork {
 
   /// A delivered message being staged into a receiver's mailbox range;
   /// `key` is the position of the arrival edge in the receiver's
-  /// incidence list (the canonical inbox sort key).
+  /// incidence list (the canonical inbox sort key). `seq` breaks ties
+  /// when fault injection lands several messages from one channel in
+  /// one round (a delayed message catching up with a fresh one): the
+  /// older send sorts first, on any thread or shard count. Fault-free
+  /// rounds never have equal keys in one inbox, so the tiebreak is
+  /// vacuous there.
   struct Delivery {
     std::uint32_t key;
+    std::uint32_t seq;
     NodeId from;
     NodeId to;
     EdgeId edge;
@@ -410,8 +438,9 @@ class SyncNetwork {
     }
     slot_stamp_[arc] = round_;
     w.stats.note_message(meter_(msg));
-    w.sends.push_back(
-        SendRec{rcv_slot_[arc], from, s.adj_to[arc], e, std::move(msg)});
+    w.sends.push_back(SendRec{rcv_slot_[arc],
+                              static_cast<std::uint32_t>(round_), from,
+                              s.adj_to[arc], e, std::move(msg)});
   }
 
   void ensure_workers() {
@@ -427,6 +456,52 @@ class SyncNetwork {
       shard_active_[plan_.shard_of(v)].push_back(v);
     }
   }
+
+#if LPS_FAULTS
+  /// Apply message fates to last round's sends, serially, before the
+  /// counting-sort phases see them. Each message is decided exactly once
+  /// (at its first delivery attempt); a delayed message is re-injected
+  /// verbatim in its due round. Re-injected and duplicated records ride
+  /// in worker 0's list — which list carries a record never matters,
+  /// because the per-inbox (key, seq) sort fixes the final order.
+  void inject_message_faults() {
+    for (PerWorker& w : workers_) {
+      const std::size_t n_sends = w.sends.size();
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < n_sends; ++i) {
+        SendRec& rec = w.sends[i];
+        const faults::MessageFate fate =
+            faults_->decide(rec.edge, rec.from, round_);
+        if (fate.drop) continue;
+        if (fate.delay > 0) {
+          delayed_.push_back(DelayedRec{round_ + fate.delay, std::move(rec)});
+          continue;
+        }
+        if (fate.dup) {
+          if constexpr (std::is_copy_constructible_v<M>) {
+            dup_buf_.push_back(rec);
+          }
+        }
+        if (out != i) w.sends[out] = std::move(rec);
+        ++out;
+      }
+      w.sends.resize(out);
+    }
+    for (SendRec& rec : dup_buf_) workers_[0].sends.push_back(std::move(rec));
+    dup_buf_.clear();
+    if (!delayed_.empty()) {
+      std::size_t keep = 0;
+      for (DelayedRec& d : delayed_) {
+        if (d.due <= round_) {
+          workers_[0].sends.push_back(std::move(d.rec));
+        } else {
+          delayed_[keep++] = std::move(d);
+        }
+      }
+      delayed_.resize(keep);
+    }
+  }
+#endif
 
   /// Merge last round's per-worker send lists into contiguous
   /// per-receiver inbox ranges, in two counting-sort phases:
@@ -444,6 +519,14 @@ class SyncNetwork {
   void build_inboxes(bool tmetrics, bool ttrace) {
     const bool tel = tmetrics || ttrace;
     telemetry::Tracer& tracer = telemetry::Tracer::global();
+#if LPS_FAULTS
+    // Fault seam: one branch per round when compiled in but off; the
+    // serial pass mutates only per-worker send lists plus the delayed
+    // queue, before any counting begins.
+    if (faults_ != nullptr && faults_->message_faults()) {
+      inject_message_faults();
+    }
+#endif
     std::size_t total = 0;
     for (const PerWorker& w : workers_) total += w.sends.size();
     deliveries_.clear();
@@ -472,6 +555,7 @@ class SyncNetwork {
       for (SendRec& rec : w.sends) {
         Delivery& d = scratch_[shard_cnt_[plan_.shard_of(rec.to)]++];
         d.key = rec.key;
+        d.seq = rec.seq;
         d.from = rec.from;
         d.to = rec.to;
         d.edge = rec.edge;
@@ -524,9 +608,26 @@ class SyncNetwork {
                            static_cast<std::ptrdiff_t>(inbox_off_[r]);
         std::sort(begin, begin + static_cast<std::ptrdiff_t>(inbox_cnt_[r]),
                   [](const Delivery& a, const Delivery& b) {
-                    return a.key < b.key;
+                    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
                   });
       }
+#if LPS_FAULTS
+      if (faults_ != nullptr && faults_->reorder()) {
+        // Deterministic per-(receiver, round) Fisher-Yates over the
+        // sorted inbox: the permutation depends on neither thread nor
+        // shard assignment, so perturbed executions stay reproducible.
+        for (NodeId r : recv) {
+          const std::uint32_t cnt = inbox_cnt_[r];
+          if (cnt < 2) continue;
+          Rng rr = faults_->reorder_rng(r, round_);
+          Delivery* base = deliveries_.data() + inbox_off_[r];
+          for (std::uint32_t i = cnt; i > 1; --i) {
+            std::swap(base[i - 1], base[rr.below(i)]);
+          }
+          faults_->note_reordered();
+        }
+      }
+#endif
       if (tel) {
         const std::uint64_t t_s2 = telemetry::now_ns();
         if (tmetrics) {
@@ -618,6 +719,18 @@ class SyncNetwork {
   bool initial_restricted_ = false;
 
   std::vector<PerWorker> workers_;
+
+#if LPS_FAULTS
+  /// A message held back by a delay fault, due for delivery at the
+  /// start of round `due`.
+  struct DelayedRec {
+    std::uint64_t due;
+    SendRec rec;
+  };
+  faults::MessageFaultInjector* faults_ = nullptr;  // not owned
+  std::vector<DelayedRec> delayed_;
+  std::vector<SendRec> dup_buf_;
+#endif
 
   std::uint64_t round_ = 0;
   std::uint64_t pending_ = 0;  // messages awaiting delivery next round

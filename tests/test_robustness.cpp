@@ -6,14 +6,18 @@
 
 #include <set>
 
+#include <cmath>
+
 #include "core/bipartite_counting.hpp"
 #include "core/bipartite_mcm.hpp"
 #include "core/class_mwm.hpp"
 #include "core/israeli_itai.hpp"
+#include "core/luby_mis.hpp"
 #include "core/weighted_mwm.hpp"
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace lps {
@@ -171,6 +175,104 @@ TEST(Robustness, MatchingFuzzAgainstReferenceModel) {
     std::vector<EdgeId> ids = m.edge_ids(g);
     EXPECT_EQ(std::set<EdgeId>(ids.begin(), ids.end()), reference);
   }
+}
+
+// ----------------------------------- delivery-order perturbation -------
+//
+// The engine sorts every inbox into a canonical order; the `reorder`
+// fault profile deterministically shuffles each receiver's inbox every
+// round. A randomized protocol whose correctness leans on delivery
+// order would break here; one whose *distribution* is order-invariant
+// must produce valid results of statistically indistinguishable size.
+
+struct SizeStats {
+  double mean = 0.0;
+  double stderr_mean = 0.0;
+};
+
+template <typename RunFn>
+SizeStats size_distribution(RunFn&& run, int seeds) {
+  std::vector<double> sizes;
+  for (int s = 1; s <= seeds; ++s) {
+    sizes.push_back(static_cast<double>(run(static_cast<std::uint64_t>(s))));
+  }
+  SizeStats st;
+  for (const double x : sizes) st.mean += x;
+  st.mean /= static_cast<double>(sizes.size());
+  double var = 0.0;
+  for (const double x : sizes) var += (x - st.mean) * (x - st.mean);
+  var /= static_cast<double>(sizes.size() - 1);
+  st.stderr_mean = std::sqrt(var / static_cast<double>(sizes.size()));
+  return st;
+}
+
+/// Means are "indistinguishable" when they differ by less than four
+/// pooled standard errors (plus an absolute floor for near-zero
+/// variance cases) — loose enough to be seed-stable, tight enough to
+/// catch any systematic order dependence.
+void expect_indistinguishable(const SizeStats& a, const SizeStats& b) {
+  const double tol = std::max(
+      1.0, 4.0 * std::sqrt(a.stderr_mean * a.stderr_mean +
+                           b.stderr_mean * b.stderr_mean));
+  EXPECT_NEAR(a.mean, b.mean, tol);
+}
+
+TEST(Robustness, IsraeliItaiIndifferentToDeliveryOrder) {
+  Rng rng(41);
+  const Graph g = erdos_renyi(512, 8.0 / 512.0, rng);
+  constexpr int kSeeds = 20;
+  const auto run = [&](const std::string& faults) {
+    return size_distribution(
+        [&](std::uint64_t seed) {
+          IsraeliItaiOptions opts;
+          opts.seed = seed;
+          opts.faults = faults;
+          const DistMatchingResult res = israeli_itai(g, opts);
+          EXPECT_TRUE(is_valid_matching(g, res.matching.edge_ids(g)));
+          return res.matching.size();
+        },
+        kSeeds);
+  };
+  expect_indistinguishable(run(""), run("reorder"));
+}
+
+TEST(Robustness, LubyIndifferentToDeliveryOrder) {
+  Rng rng(43);
+  const Graph g = erdos_renyi(512, 8.0 / 512.0, rng);
+  constexpr int kSeeds = 20;
+  const auto run = [&](const std::string& faults) {
+    return size_distribution(
+        [&](std::uint64_t seed) {
+          MisOptions opts;
+          opts.seed = seed;
+          opts.faults = faults;
+          const MisResult res = luby_mis(g, opts);
+          EXPECT_TRUE(is_independent_set(g, res.in_mis));
+          std::size_t size = 0;
+          for (const char c : res.in_mis) size += c != 0;
+          return size;
+        },
+        kSeeds);
+  };
+  expect_indistinguishable(run(""), run("reorder"));
+}
+
+TEST(Robustness, ReorderedInboxesStayBitIdenticalAcrossThreads) {
+  // The shuffle derives from (receiver, round), not from which worker
+  // or shard sorts the inbox — so even the *perturbed* execution is
+  // reproducible across thread counts.
+  Rng rng(47);
+  const Graph g = erdos_renyi(512, 8.0 / 512.0, rng);
+  IsraeliItaiOptions opts;
+  opts.seed = 3;
+  opts.faults = "reorder";
+  const DistMatchingResult inline_run = israeli_itai(g, opts);
+  ThreadPool pool(4);
+  opts.pool = &pool;
+  opts.shards = 4;
+  const DistMatchingResult pooled_run = israeli_itai(g, opts);
+  EXPECT_EQ(inline_run.matching.edge_ids(g), pooled_run.matching.edge_ids(g));
+  EXPECT_EQ(inline_run.stats.messages, pooled_run.stats.messages);
 }
 
 // ----------------------------------------- seed-sensitivity sweeps -----

@@ -6,11 +6,21 @@
 //          --threads 4 --trace out.json
 //   runner --generator grid:rows=64,cols=64 --solver bipartite_mcm
 //          --lca auto --lca-queries 5000 --json-dir bench/out
+//   runner --generator er:n=4096,deg=8 --solver israeli_itai
+//          --faults drop10
 //
 // Flags mirror api::RunSpec; see src/api/runner.hpp for semantics.
+//
+// Exit codes: 0 success, 1 runtime failure (trace write, I/O, internal
+// error), 2 rejected input — a malformed or unknown generator / config
+// / stream / fault spec, reported as one `runner: invalid spec:` line
+// on stderr. run_one validates every spec string (generator, solver
+// config, fault plan, dynamic stream, maintainer config) before any
+// solve work, so rejection is fast and uniform across legs.
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "api/runner.hpp"
@@ -34,6 +44,10 @@ void usage() {
       "  --dynamic NAME       dynamic leg: greedy | repair | scratch\n"
       "  --dynamic-stream S   update-stream spec (required with --dynamic)\n"
       "  --dynamic-config KV  maintainer config\n"
+      "  --dynamic-checkpoints N  ratio sample points (0 = off, default 8)\n"
+      "  --faults SPEC        fault preset (drop10|dup5|delay4|reorder|\n"
+      "                       flap1|advdel|chaos) or name:k=v,... plan;\n"
+      "                       flap/adversarial plans need --dynamic\n"
       "  --trace PATH         write a Chrome/Perfetto trace of the run\n"
       "  --no-telemetry       skip metric collection (no telemetry block)\n"
       "  --json-dir DIR       also write the record to DIR\n");
@@ -69,6 +83,9 @@ int main(int argc, char** argv) {
   spec.dynamic = opts.get("dynamic", "");
   spec.dynamic_stream = opts.get("dynamic-stream", "");
   spec.dynamic_config = opts.get("dynamic-config", "");
+  spec.dynamic_checkpoints =
+      static_cast<std::uint64_t>(opts.get_int("dynamic-checkpoints", 8));
+  spec.faults = opts.get("faults", "");
   spec.trace = opts.get("trace", "");
   spec.telemetry = !opts.get_bool("no-telemetry", false);
 
@@ -88,6 +105,12 @@ int main(int argc, char** argv) {
                    spec.trace.c_str());
       return 1;
     }
+  } catch (const std::invalid_argument& e) {
+    // Every malformed spec string — generator, solver name/config,
+    // fault plan, dynamic stream, maintainer config — lands here via
+    // run_one's eager validation: one diagnostic line, exit 2.
+    std::fprintf(stderr, "runner: invalid spec: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "runner: %s\n", e.what());
     return 1;
