@@ -31,6 +31,15 @@
 //                         n=2^E (default 20) deg 4, untraced vs fully
 //                         traced; exit 1 when the traced run is >5%
 //                         slower (LPS_BENCH_GATE_SKIP honored).
+//   --obs-overhead[=E]    observability-overhead gate: same harness, but
+//                         the instrumented side runs with the structured
+//                         EventLog recording and a silent Monitor
+//                         sampling progress; exit 1 when >5% slower
+//                         (LPS_BENCH_GATE_SKIP honored).
+//
+// Every sweep row (including --smoke) also appends a "bench" record to
+// the run ledger (bench/ledger.jsonl; LPS_LEDGER overrides/disables) so
+// tools/perf_diff can trend rounds/sec across invocations.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -42,6 +51,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench/bench_common.hpp"
 #include "core/bipartite_counting.hpp"
 #include "core/israeli_itai.hpp"
 #include "core/luby_mis.hpp"
@@ -49,6 +59,8 @@
 #include "graph/weights.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/shard.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/monitor.hpp"
 #include "telemetry/telemetry.hpp"
 #include "seq/blossom.hpp"
 #include "seq/greedy.hpp"
@@ -482,6 +494,11 @@ int run_engine_sweep(const std::string& json_path, bool smoke,
       return 1;
     }
     print_engine_row(r);
+    // Ledger row keyed to join against the BENCH_engine.json baseline.
+    bench::ledger_append(
+        "engine:n=" + std::to_string(r.n) + ",deg=" +
+            std::to_string(static_cast<unsigned>(r.avg_deg)),
+        "rounds_per_sec", r.rounds_per_sec(), /*higher_is_better=*/true);
     results.push_back(r);
   }
   if (json_path.empty()) return 0;
@@ -683,6 +700,74 @@ int run_trace_overhead(unsigned nexp) {
   return 0;
 }
 
+/// CI observability-overhead gate (--obs-overhead): the PR 9 acceptance
+/// budget — a run with the structured EventLog recording and a silent
+/// Monitor sampling the progress board stays within 5% of bare
+/// rounds/sec. Same best-of-3 discipline and LPS_BENCH_GATE_SKIP
+/// override as the other gates.
+int run_obs_overhead(unsigned nexp) {
+  telemetry::EventLog& elog = telemetry::EventLog::global();
+  elog.set_recording(true);
+  if (!elog.recording()) {
+    std::printf(
+        "obs overhead: telemetry compiled out (LPS_TELEMETRY=0) — "
+        "nothing to gate\n");
+    return 0;
+  }
+  elog.set_recording(false);
+  const NodeId n = NodeId{1} << nexp;
+  EngineRunResult off{};
+  EngineRunResult on{};
+  std::size_t events = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const EngineRunResult r =
+        measure_engine_rounds(n, 4.0, /*min_seconds=*/0.3, /*shards=*/0);
+    if (rep == 0 || r.rounds_per_sec() > off.rounds_per_sec()) off = r;
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    elog.reset();  // fresh event budget per repeat — no drop skew
+    elog.set_recording(true);
+    telemetry::MonitorOptions mo;
+    mo.interval_ms = 50;
+    mo.out = nullptr;  // silent: sample the board, print nothing
+    {
+      telemetry::Monitor monitor(mo);
+      const EngineRunResult r =
+          measure_engine_rounds(n, 4.0, /*min_seconds=*/0.3, /*shards=*/0);
+      monitor.stop();
+      if (rep == 0 || r.rounds_per_sec() > on.rounds_per_sec()) {
+        on = r;
+        events = elog.events();
+      }
+    }
+    elog.set_recording(false);
+  }
+  elog.reset();
+  std::printf("bare     ");
+  print_engine_row(off);
+  std::printf("observed ");
+  print_engine_row(on);
+  const double frac = 1.0 - on.rounds_per_sec() / off.rounds_per_sec();
+  std::printf(
+      "obs overhead: %.2f%% rounds/sec (%zu events recorded, budget 5%%)\n",
+      100.0 * frac, events);
+  if (frac > 0.05) {
+    const char* skip = std::getenv("LPS_BENCH_GATE_SKIP");
+    if (skip != nullptr && skip[0] == '1') {
+      std::printf(
+          "obs overhead: over budget but LPS_BENCH_GATE_SKIP=1 — "
+          "ignoring\n");
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "obs overhead: event-log + monitor run >5%% slower than "
+                 "bare (set LPS_BENCH_GATE_SKIP=1 to override on noisy "
+                 "hosts)\n");
+    return 1;
+  }
+  return 0;
+}
+
 /// Cheap invariant checks for the CI smoke job: crash/assert here means
 /// the engine or a migrated protocol regressed in Release mode.
 int run_smoke_checks() {
@@ -736,6 +821,8 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool trace_overhead = false;
   unsigned trace_overhead_exp = 20;
+  bool obs_overhead = false;
+  unsigned obs_overhead_exp = 20;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -762,11 +849,21 @@ int main(int argc, char** argv) {
       trace_overhead = true;
       trace_overhead_exp =
           static_cast<unsigned>(std::strtoul(argv[i] + 17, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--obs-overhead") == 0) {
+      obs_overhead = true;
+    } else if (std::strncmp(argv[i], "--obs-overhead=", 15) == 0) {
+      obs_overhead = true;
+      obs_overhead_exp =
+          static_cast<unsigned>(std::strtoul(argv[i] + 15, nullptr, 10));
     }
   }
   if (trace_overhead) {
     // Manages its own tracer state; --trace would skew the measurement.
     return lps::run_trace_overhead(trace_overhead_exp);
+  }
+  if (obs_overhead) {
+    // Likewise self-managed: the bare half must run uninstrumented.
+    return lps::run_obs_overhead(obs_overhead_exp);
   }
   const bool custom = smoke || perf_gate || shard_sweep || engine_sweep;
   const bool tracing = !trace_path.empty();

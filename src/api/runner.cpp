@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
 
@@ -10,6 +11,7 @@
 #include <thread>
 
 #include "api/json.hpp"
+#include "api/ledger.hpp"
 #include "api/provenance.hpp"
 #include "api/registry.hpp"
 #include "dynamic/matcher.hpp"
@@ -21,6 +23,8 @@
 #include "graph/weights.hpp"
 #include "lca/batch.hpp"
 #include "lca/oracle.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/monitor.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -699,6 +703,29 @@ RunResult run_one(const RunSpec& spec) {
     tracer.reset();
     tracer.set_recording(true);
   }
+  // Structured event log: recorded over the same window as the trace
+  // (solve + optional legs), written as JSONL at the end.
+  const bool want_events = !spec.events.empty();
+  telemetry::EventLog& elog = telemetry::EventLog::global();
+  if (want_events) {
+    elog.reset();
+    elog.set_recording(true);
+  }
+  // Live monitor + stall watchdog: a background sampler reading the
+  // progress board the engine publishes each round. Purely
+  // observational — the run's execution is bit-identical with or
+  // without it.
+  std::unique_ptr<telemetry::Monitor> monitor;
+  if (spec.monitor_ms > 0 || spec.stall_timeout_ms > 0) {
+    telemetry::MonitorOptions mopts;
+    mopts.interval_ms = spec.monitor_ms > 0 ? static_cast<int>(spec.monitor_ms)
+                                            : 1000;
+    mopts.stall_timeout_ms = static_cast<int>(spec.stall_timeout_ms);
+    mopts.abort_on_stall = spec.stall_abort;
+    mopts.out = spec.monitor_ms > 0 ? &std::cerr : nullptr;
+    mopts.label = spec.solver;
+    monitor = std::make_unique<telemetry::Monitor>(mopts);
+  }
   TelemetrySnap t_before;
   if (want_metrics) t_before = snap_telemetry();
 
@@ -736,10 +763,20 @@ RunResult run_one(const RunSpec& spec) {
   if (want_metrics) {
     out.telemetry = summarize_telemetry(t_before, t_solve, snap_telemetry());
   }
+  if (monitor != nullptr) {
+    monitor->stop();
+    out.stalled = monitor->stalled();
+    monitor.reset();
+  }
   telemetry::set_enabled(prev_metrics);
   if (want_trace) {
     tracer.set_recording(false);
     if (tracer.write_chrome_trace(spec.trace)) out.trace_path = spec.trace;
+  }
+  if (want_events) {
+    elog.set_recording(false);
+    out.events_recorded = elog.events();
+    if (elog.write_jsonl(spec.events)) out.events_path = spec.events;
   }
   // Mirror ThreadPool's resolution of the 0 sentinel (hardware
   // concurrency, floored at 1 — the standard allows it to report 0).
@@ -751,6 +788,9 @@ RunResult run_one(const RunSpec& spec) {
   out.prov_build_type = prov.build_type;
   out.prov_threads = prov.threads;
   out.prov_timestamp_utc = prov.timestamp_utc;
+  // Cross-run memory: one best-effort JSONL record per run (spec.ledger
+  // / LPS_LEDGER control the destination; see api/ledger.hpp).
+  append_run_ledger(out, resolve_ledger_path(spec.ledger));
   return out;
 }
 
@@ -760,18 +800,6 @@ std::string RunResult::to_json() const {
   JsonObject tel;
   tel.add("enabled", telemetry.enabled);
   if (telemetry.enabled) {
-    JsonObject round;
-    round.add("mean_ns", telemetry.round_ns_mean)
-        .add("p50_ns", telemetry.round_ns_p50)
-        .add("p90_ns", telemetry.round_ns_p90)
-        .add("p99_ns", telemetry.round_ns_p99)
-        .add("max_ns", telemetry.round_ns_max);
-    JsonObject phases;
-    phases.add("exchange_p1_ns", telemetry.exchange_p1_ns_mean)
-        .add("exchange_p2_ns", telemetry.exchange_p2_ns_mean)
-        .add("inbox_sort_ns", telemetry.inbox_sort_ns_mean)
-        .add("deliver_ns", telemetry.deliver_ns_mean)
-        .add("step_ns", telemetry.step_ns_mean);
     JsonArray worker_busy;
     for (const std::uint64_t w : telemetry.worker_busy_ns) worker_busy.push(w);
     JsonObject shards_obj;
@@ -783,10 +811,27 @@ std::string RunResult::to_json() const {
     JsonArray mpr;
     for (const std::uint64_t v : telemetry.messages_per_round) mpr.push(v);
     tel.add("rounds", telemetry.rounds)
-        .add("messages_delivered", telemetry.messages_delivered)
-        .add("round", round)
-        .add("phase_mean_per_round", phases)
-        .add("worker_busy_ns", worker_busy)
+        .add("messages_delivered", telemetry.messages_delivered);
+    // Empty-histogram contract: a run with no engine rounds (sequential
+    // solvers, pure dynamic legs) has nothing in the round/phase
+    // histograms — omit the blocks rather than emit p50/p90/p99 zeros
+    // that read as measurements.
+    if (telemetry.rounds > 0) {
+      JsonObject round;
+      round.add("mean_ns", telemetry.round_ns_mean)
+          .add("p50_ns", telemetry.round_ns_p50)
+          .add("p90_ns", telemetry.round_ns_p90)
+          .add("p99_ns", telemetry.round_ns_p99)
+          .add("max_ns", telemetry.round_ns_max);
+      JsonObject phases;
+      phases.add("exchange_p1_ns", telemetry.exchange_p1_ns_mean)
+          .add("exchange_p2_ns", telemetry.exchange_p2_ns_mean)
+          .add("inbox_sort_ns", telemetry.inbox_sort_ns_mean)
+          .add("deliver_ns", telemetry.deliver_ns_mean)
+          .add("step_ns", telemetry.step_ns_mean);
+      tel.add("round", round).add("phase_mean_per_round", phases);
+    }
+    tel.add("worker_busy_ns", worker_busy)
         .add("worker_stall_frac", telemetry.worker_stall_frac)
         .add("shard_exchange", shards_obj)
         .add("messages_per_round", mpr)
@@ -804,6 +849,10 @@ std::string RunResult::to_json() const {
           .add("faults_recovery_ns_p99", telemetry.faults_recovery_ns_p99);
     }
     if (!trace_path.empty()) tel.add("trace_path", trace_path);
+    if (!events_path.empty()) {
+      tel.add("events_path", events_path)
+          .add("events_recorded", events_recorded);
+    }
   }
   JsonObject o;
   o.add("solver", spec.solver)
@@ -829,6 +878,7 @@ std::string RunResult::to_json() const {
       .add("valid", valid)
       .add("maximal", maximal)
       .add("converged", converged)
+      .add("stalled", stalled)
       .add("guarantee", guarantee)
       .add("oracle_solver", oracle_solver)
       .add("optimum_kind", optimum_kind)
@@ -911,7 +961,12 @@ std::string write_json(const RunResult& result, const std::string& dir,
     if (c == ':' || c == ',' || c == '=' || c == '/' || c == ' ') c = '-';
   }
   std::filesystem::create_directories(dir);
-  const std::string path = dir + "/" + stem + ".json";
+  // Repeated identical specs must not silently overwrite earlier
+  // records: probe for a free path, suffixing a run ordinal.
+  std::string path = dir + "/" + stem + ".json";
+  for (unsigned ordinal = 2; std::filesystem::exists(path); ++ordinal) {
+    path = dir + "/" + stem + "__r" + std::to_string(ordinal) + ".json";
+  }
   std::ofstream os(path);
   if (!os) {
     throw std::runtime_error("write_json: cannot open '" + path + "'");

@@ -104,6 +104,27 @@ struct RunSpec {
   /// write them to this path (load in Perfetto / chrome://tracing).
   /// Implies metric collection.
   std::string trace;
+  /// When non-empty, record the structured event log (round boundaries,
+  /// exchange phases, fault injections, resyncs, rebuilds — see
+  /// telemetry/event_log.hpp) and write it as JSONL to this path.
+  /// Validate/cross-link with `trace_summary --events`. No events are
+  /// recorded when the library is built with -DLPS_TELEMETRY=0 (the
+  /// file is still written, empty).
+  std::string events;
+  /// Live-progress status line period in ms (stderr); 0 = no status
+  /// line. Inert when built with -DLPS_TELEMETRY=0.
+  unsigned monitor_ms = 0;
+  /// Stall-watchdog deadline in ms: when no engine round completes for
+  /// this long, dump the event-log tail + per-shard/per-worker counters
+  /// to stderr. 0 disables the watchdog.
+  unsigned stall_timeout_ms = 0;
+  /// After the stall dump, abort the process with
+  /// telemetry::kWatchdogExitCode instead of latching and continuing.
+  bool stall_abort = false;
+  /// Run-ledger destination: "" = default resolution (LPS_LEDGER env,
+  /// else bench/ledger.jsonl), "off"/"0" = no append, anything else =
+  /// explicit path. Appends are best-effort and never fail the run.
+  std::string ledger;
 };
 
 /// The per-run telemetry digest attached to RunResult (and the JSON
@@ -232,6 +253,13 @@ struct RunResult {
   TelemetrySummary telemetry;
   /// Path the trace was written to ("" = no trace requested/written).
   std::string trace_path;
+  /// Path the event log was written to ("" = not requested/failed).
+  std::string events_path;
+  /// Events recorded during the run (0 when not requested/compiled out).
+  std::uint64_t events_recorded = 0;
+  /// True when the stall watchdog fired during the run (only reachable
+  /// with stall_abort=false; an aborted run never returns).
+  bool stalled = false;
   // Provenance stamp (git SHA, build type, resolved threads, record
   // timestamp); filled by run_one.
   std::string prov_git_sha;
@@ -248,8 +276,10 @@ struct RunResult {
 RunResult run_one(const RunSpec& spec);
 
 /// Write `result.to_json()` to `<dir>/<derived-name>.json` (directories
-/// created as needed; existing files overwritten). Returns the path.
-/// `name_hint` overrides the derived file stem when non-empty.
+/// created as needed). Repeated identical specs never overwrite: when
+/// the derived path exists the stem gets a `__r2`, `__r3`, ... ordinal
+/// suffix. Returns the path actually written. `name_hint` overrides the
+/// derived file stem when non-empty (same collision handling).
 std::string write_json(const RunResult& result, const std::string& dir,
                        const std::string& name_hint = "");
 

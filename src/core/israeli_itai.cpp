@@ -210,6 +210,13 @@ DistMatchingResult israeli_itai(const Graph& g,
       }
       if (perturbed.empty()) break;
       ++resyncs;
+      {
+        telemetry::EventLog& elog = telemetry::EventLog::global();
+        if (elog.recording()) {
+          elog.emit(telemetry::EventKind::kResync, net.round(), sweep,
+                    perturbed.size());
+        }
+      }
       for (const NodeId v : perturbed) {
         matched_edge[v] = kInvalidEdge;
         proposal_edge[v] = kInvalidEdge;

@@ -79,7 +79,14 @@ std::uint32_t mis_resync(const Graph& g, std::vector<NodeState>& state,
     }
     // No live nodes after reconciliation: independent and maximal.
     if (live.empty()) break;
-    if (changed) ++resyncs;
+    if (changed) {
+      ++resyncs;
+      telemetry::EventLog& elog = telemetry::EventLog::global();
+      if (elog.recording()) {
+        elog.emit(telemetry::EventKind::kResync, net.round(), sweep,
+                  live.size());
+      }
+    }
     for (const NodeId v : live) net.activate(v);
     run_burst();
   }

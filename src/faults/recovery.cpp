@@ -4,6 +4,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "telemetry/event_log.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
@@ -65,6 +66,8 @@ void FaultSession::inject_crashes(std::uint32_t epoch, EpochReport& report) {
   if (count == 0) return;
   Rng rng = Rng::substream(seed_, kCrashSalt, std::uint64_t{epoch});
   partial_shuffle(live, count, rng);
+  telemetry::EventLog& elog = telemetry::EventLog::global();
+  const bool tevents = elog.recording();
   for (std::size_t i = 0; i < count; ++i) {
     const NodeId v = live[i];
     // Park the incidence list before it goes down with the vertex; a
@@ -74,6 +77,7 @@ void FaultSession::inject_crashes(std::uint32_t epoch, EpochReport& report) {
       parked_.push_back(ParkedEdge{v, a.to, g.weight(a.edge)});
     }
     down_.push_back(Downed{v, std::uint64_t{epoch} + plan_.down_epochs});
+    if (tevents) elog.emit(telemetry::EventKind::kCrash, epoch, v, epoch);
     matcher_.apply({dynamic::UpdateKind::kRemoveVertex, v});
     ++report.crashed;
   }
@@ -87,9 +91,15 @@ void FaultSession::inject_adversarial(std::uint32_t epoch,
   Rng rng = Rng::substream(seed_, kAdversarySalt, std::uint64_t{epoch});
   partial_shuffle(matched, count, rng);
   const dynamic::DynamicGraph& g = matcher_.graph();
+  telemetry::EventLog& elog = telemetry::EventLog::global();
+  const bool tevents = elog.recording();
   for (std::size_t i = 0; i < count; ++i) {
     const Edge ed = g.edge(matched[i]);
     parked_.push_back(ParkedEdge{ed.u, ed.v, g.weight(matched[i])});
+    if (tevents) {
+      elog.emit(telemetry::EventKind::kAdversarialCut, epoch, ed.u, ed.v,
+                epoch);
+    }
     matcher_.apply({dynamic::UpdateKind::kDeleteEdge, ed.u, ed.v});
     ++report.adversarial;
   }
@@ -98,10 +108,15 @@ void FaultSession::inject_adversarial(std::uint32_t epoch,
 std::uint64_t FaultSession::recover(std::uint64_t epoch, bool heal_all,
                                     EpochReport* report) {
   const std::uint64_t t0 = clock_ns();
+  telemetry::EventLog& elog = telemetry::EventLog::global();
+  const bool tevents = elog.recording();
   std::size_t keep = 0;
   for (Downed& d : down_) {
     if (heal_all || d.up_epoch <= epoch) {
       matcher_.apply({dynamic::UpdateKind::kReviveVertex, d.v});
+      if (tevents) {
+        elog.emit(telemetry::EventKind::kRevive, epoch, d.v, epoch);
+      }
       if (report != nullptr) ++report->revived;
     } else {
       down_[keep++] = d;
@@ -122,6 +137,9 @@ std::uint64_t FaultSession::recover(std::uint64_t epoch, bool heal_all,
     if (g.find_edge(pe.u, pe.v) == kInvalidEdge) {
       matcher_.apply(
           {dynamic::UpdateKind::kInsertEdge, pe.u, pe.v, pe.w});
+      if (tevents) {
+        elog.emit(telemetry::EventKind::kReinsert, epoch, pe.u, pe.v, epoch);
+      }
       if (report != nullptr) ++report->reinserted;
     }
   }

@@ -80,6 +80,8 @@
 #include "runtime/round_stats.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/monitor.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 
@@ -335,7 +337,22 @@ class SyncNetwork {
     // not declare the network silent while deliveries are still due.
     pending_ += delayed_.size();
 #endif
+    delivered_total_ += delivered_last_round_;
     ++round_;
+
+    // Structured round-boundary event + live progress snapshot. Both
+    // paths only observe engine state (never feed back into it), so
+    // executions stay bit-identical with them on or off.
+    telemetry::EventLog& elog = telemetry::EventLog::global();
+    if (elog.recording()) {
+      elog.emit(telemetry::EventKind::kRound, this_round,
+                delivered_last_round_, sent, stepped_last_round_);
+    }
+    telemetry::ProgressBoard& board = telemetry::ProgressBoard::global();
+    if (board.publishing()) {
+      board.publish(round_, delivered_total_, stepped_last_round_,
+                    telemetry::now_ns());
+    }
 
     if (tel) {
       const std::uint64_t t_end = telemetry::now_ns();
@@ -465,6 +482,8 @@ class SyncNetwork {
   /// in worker 0's list — which list carries a record never matters,
   /// because the per-inbox (key, seq) sort fixes the final order.
   void inject_message_faults() {
+    telemetry::EventLog& elog = telemetry::EventLog::global();
+    const bool tevents = elog.recording();
     for (PerWorker& w : workers_) {
       const std::size_t n_sends = w.sends.size();
       std::size_t out = 0;
@@ -472,13 +491,27 @@ class SyncNetwork {
         SendRec& rec = w.sends[i];
         const faults::MessageFate fate =
             faults_->decide(rec.edge, rec.from, round_);
-        if (fate.drop) continue;
+        if (fate.drop) {
+          if (tevents) {
+            elog.emit(telemetry::EventKind::kFaultDrop, round_, rec.edge,
+                      rec.from);
+          }
+          continue;
+        }
         if (fate.delay > 0) {
+          if (tevents) {
+            elog.emit(telemetry::EventKind::kFaultDelay, round_, rec.edge,
+                      rec.from, fate.delay);
+          }
           delayed_.push_back(DelayedRec{round_ + fate.delay, std::move(rec)});
           continue;
         }
         if (fate.dup) {
           if constexpr (std::is_copy_constructible_v<M>) {
+            if (tevents) {
+              elog.emit(telemetry::EventKind::kFaultDup, round_, rec.edge,
+                        rec.from);
+            }
             dup_buf_.push_back(rec);
           }
         }
@@ -519,6 +552,8 @@ class SyncNetwork {
   void build_inboxes(bool tmetrics, bool ttrace) {
     const bool tel = tmetrics || ttrace;
     telemetry::Tracer& tracer = telemetry::Tracer::global();
+    telemetry::EventLog& elog = telemetry::EventLog::global();
+    const bool tevents = elog.recording();
 #if LPS_FAULTS
     // Fault seam: one branch per round when compiled in but off; the
     // serial pass mutates only per-worker send lists plus the delayed
@@ -571,6 +606,10 @@ class SyncNetwork {
       tracer.emit("engine.exchange.p1", "engine", t_p1, t_p1_end - t_p1,
                   {{"round", static_cast<double>(round_)},
                    {"msgs", static_cast<double>(total)}});
+    }
+    if (tevents) {
+      elog.emit(telemetry::EventKind::kExchange, round_, /*phase=*/1,
+                /*shard=*/0, total);
     }
 
     // Phase 2: within each shard, counting-sort by receiver. A shard's
@@ -646,6 +685,11 @@ class SyncNetwork {
           tracer.emit("engine.inbox.sort", "engine", t_s1, t_s2 - t_s1,
                       {{"shard", sh}, {"round", rd}});
         }
+      }
+      if (tevents) {
+        // Safe shard-parallel: events land in per-thread buffers.
+        elog.emit(telemetry::EventKind::kExchange, round_, /*phase=*/2, s,
+                  se - sb);
       }
     };
     if (pool_ != nullptr && pool_->num_threads() > 1 && num_shards > 1) {
@@ -735,6 +779,7 @@ class SyncNetwork {
   std::uint64_t round_ = 0;
   std::uint64_t pending_ = 0;  // messages awaiting delivery next round
   std::uint64_t delivered_last_round_ = 0;
+  std::uint64_t delivered_total_ = 0;  // cumulative (progress board)
   std::uint64_t stepped_last_round_ = 0;
   NetStats stats_;
 };
