@@ -426,7 +426,6 @@ struct TelemetrySnap {
   telemetry::HistogramSnapshot p1_ns;
   telemetry::HistogramSnapshot p2_ns;
   telemetry::HistogramSnapshot sort_ns;
-  telemetry::HistogramSnapshot deliver_ns;
   telemetry::HistogramSnapshot step_ns;
   std::vector<std::uint64_t> shard_ns;
   std::vector<std::uint64_t> worker_ns;
@@ -445,7 +444,6 @@ TelemetrySnap snap_telemetry() {
   s.p1_ns = em.exchange_p1_ns.snapshot();
   s.p2_ns = em.exchange_p2_ns.snapshot();
   s.sort_ns = em.inbox_sort_ns.snapshot();
-  s.deliver_ns = em.deliver_ns.snapshot();
   s.step_ns = em.step_ns.snapshot();
   s.shard_ns = em.shard_exchange_ns.values();
   s.worker_ns = em.worker_busy_ns.values();
@@ -496,7 +494,6 @@ TelemetrySummary summarize_telemetry(const TelemetrySnap& before,
   t.exchange_p1_ns_mean = per_round_mean(after_solve.p1_ns, before.p1_ns);
   t.exchange_p2_ns_mean = per_round_mean(after_solve.p2_ns, before.p2_ns);
   t.inbox_sort_ns_mean = per_round_mean(after_solve.sort_ns, before.sort_ns);
-  t.deliver_ns_mean = per_round_mean(after_solve.deliver_ns, before.deliver_ns);
   t.step_ns_mean = per_round_mean(after_solve.step_ns, before.step_ns);
 
   t.worker_busy_ns = vec_delta(after_solve.worker_ns, before.worker_ns);
@@ -827,7 +824,6 @@ std::string RunResult::to_json() const {
       phases.add("exchange_p1_ns", telemetry.exchange_p1_ns_mean)
           .add("exchange_p2_ns", telemetry.exchange_p2_ns_mean)
           .add("inbox_sort_ns", telemetry.inbox_sort_ns_mean)
-          .add("deliver_ns", telemetry.deliver_ns_mean)
           .add("step_ns", telemetry.step_ns_mean);
       tel.add("round", round).add("phase_mean_per_round", phases);
     }

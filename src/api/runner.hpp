@@ -139,12 +139,11 @@ struct TelemetrySummary {
   double round_ns_p90 = 0.0;
   double round_ns_p99 = 0.0;
   std::uint64_t round_ns_max = 0;
-  // Per-phase means per round (boundary exchange 1/2, inbox sort,
-  // delivery staging, step loop).
+  // Per-phase means per round (boundary exchange 1/2, inbox sort, step
+  // loop).
   double exchange_p1_ns_mean = 0.0;
   double exchange_p2_ns_mean = 0.0;
   double inbox_sort_ns_mean = 0.0;
-  double deliver_ns_mean = 0.0;
   double step_ns_mean = 0.0;
   // Per-worker step-loop busy time and the implied stall fraction
   // (1 - busy / (workers * step span); 0 when single-threaded).

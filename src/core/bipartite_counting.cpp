@@ -89,14 +89,9 @@ CountingResult count_augmenting_paths(const Graph& g,
         out.depth[v] = static_cast<std::uint32_t>(round);
         out.counts[v].assign(nbrs.size(), BigCounter{});
       }
-      // Locate the incidence slot of this edge.
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (nbrs[i].edge == in.edge) {
-          out.counts[v][i] = in.payload->count;
-          out.total[v] += in.payload->count;
-          break;
-        }
-      }
+      // The inbox slot IS the incidence position: accumulate directly.
+      out.counts[v][in.slot] = in.payload->count;
+      out.total[v] += in.payload->count;
     }
     if (!any) return;
 

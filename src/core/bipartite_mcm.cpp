@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "runtime/engine.hpp"
+#include "runtime/simd.hpp"
 #include "util/rng.hpp"
 
 namespace lps {
@@ -99,13 +100,9 @@ AugResult bipartite_aug(const Graph& g, const std::vector<std::uint8_t>& side,
     result.stats.merge(counting.stats);
     ++result.iterations;
 
-    bool any_endpoint = false;
-    for (NodeId v = 0; v < n; ++v) {
-      if (counting.is_path_endpoint(v)) {
-        any_endpoint = true;
-        break;
-      }
-    }
+    // Dense byte scan over the endpoint column (free Y nodes reached).
+    const bool any_endpoint = simd::any_ne_u8(
+        reinterpret_cast<const std::uint8_t*>(counting.endpoint.data()), n, 0);
     if (!any_endpoint) {
       result.converged = true;
       break;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "runtime/engine.hpp"
+#include "runtime/simd.hpp"
 
 namespace lps {
 
@@ -38,16 +39,23 @@ std::vector<double> gain_weights(const WeightedGraph& wg, const Matching& m,
     stats->merge(net.stats());
   }
 
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    if (m.contains(g, e)) {
-      gains[e] = 0.0;
-      continue;
-    }
-    const Edge& ed = g.edge(e);
-    double gain = wg.weight(e);
-    if (!m.is_free(ed.u)) gain -= wg.weight(m.matched_edge(ed.u));
-    if (!m.is_free(ed.v)) gain -= wg.weight(m.matched_edge(ed.v));
-    gains[e] = gain;
+  // Columnar evaluation of w_M(e) = w(e) - w(u, M(u)) - w(v, M(v)):
+  // gather-subtract over the store's endpoint columns against a
+  // per-node mate-weight column. Free vertices contribute a literal
+  // +0.0, an exact IEEE identity under subtraction, so the column needs
+  // no mask and the result is bit-identical to the branching form
+  // (operands are subtracted in the same u-then-v order).
+  const GraphStore& s = g.store();
+  std::vector<double> mate_w(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!m.is_free(v)) mate_w[v] = wg.weight(m.matched_edge(v));
+  }
+  simd::sub2_gather_f64(wg.weights.data(), mate_w.data(), s.edge_u.data(),
+                        s.edge_v.data(), gains.data(), g.num_edges());
+  // Matched edges carry zero gain by definition.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const EdgeId e = m.matched_edge(v);
+    if (e != kInvalidEdge) gains[e] = 0.0;
   }
   return gains;
 }

@@ -1,6 +1,7 @@
 #include "core/hoepman_mwm.hpp"
 
 #include "runtime/engine.hpp"
+#include "runtime/simd.hpp"
 
 namespace lps {
 
@@ -26,19 +27,19 @@ HoepmanResult hoepman_mwm(const WeightedGraph& wg,
   const NodeId n = g.num_nodes();
 
   std::vector<EdgeId> matched_edge(n, kInvalidEdge);
-  // alive[adj slot] per node, flattened (same layout as israeli_itai).
-  std::vector<std::size_t> adj_offset(n + 1, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    adj_offset[v + 1] = adj_offset[v] + g.degree(v);
+  // Per-arc state at CSR arc positions (offsets[v] + i for v's i-th
+  // incidence) — the layout the engine's inbox slots index, so a kDrop
+  // arrival clears its flag without scanning the row. The incident-edge
+  // weight rides in a parallel column so retargeting is a masked argmax
+  // over one contiguous slice.
+  const GraphStore& store = g.store();
+  const std::vector<std::uint64_t>& adj_offset = store.offsets;
+  std::vector<std::uint8_t> edge_alive(adj_offset[n], 1);
+  std::vector<double> inc_weight(adj_offset[n]);
+  for (std::size_t a = 0; a < inc_weight.size(); ++a) {
+    inc_weight[a] = wg.weights[store.adj_edge[a]];
   }
-  std::vector<char> edge_alive(adj_offset[n], 1);
   std::vector<EdgeId> target(n, kInvalidEdge);
-
-  // Deterministic heaviest-edge comparator: (weight, edge id).
-  auto heavier = [&](EdgeId a, EdgeId b) {
-    if (wg.weights[a] != wg.weights[b]) return wg.weights[a] > wg.weights[b];
-    return a < b;
-  };
 
   HoepNet net(g, /*seed=*/0, HoepBits{});
   net.set_thread_pool(opts.pool);
@@ -52,26 +53,24 @@ HoepmanResult hoepman_mwm(const WeightedGraph& wg,
     const NodeId v = ctx.id();
     const auto nbrs = ctx.graph().neighbors(v);
 
-    // 1. Process drops (edges leaving the game).
+    // 1. Process drops (edges leaving the game); the inbox slot IS the
+    // arc position, so each drop clears its flag directly.
     for (const auto& in : ctx.inbox()) {
-      if (in.payload->type != HoepType::kDrop) continue;
-      for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        if (nbrs[i].edge == in.edge) {
-          edge_alive[adj_offset[v] + i] = 0;
-          break;
-        }
+      if (in.payload->type == HoepType::kDrop) {
+        edge_alive[adj_offset[v] + in.slot] = 0;
       }
     }
     if (matched_edge[v] != kInvalidEdge) return;
 
-    // 2. Retarget to the heaviest alive edge.
-    EdgeId best = kInvalidEdge;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (!edge_alive[adj_offset[v] + i]) continue;
-      if (best == kInvalidEdge || heavier(nbrs[i].edge, best)) {
-        best = nbrs[i].edge;
-      }
-    }
+    // 2. Retarget to the heaviest alive edge: masked argmax over this
+    // node's arc slice under the strict total order (weight desc, edge
+    // id asc) — the deterministic comparator the scalar loop used.
+    const std::uint64_t base = adj_offset[v];
+    const std::size_t best_slot = simd::argmax_masked_f64(
+        inc_weight.data() + base, store.adj_edge.data() + base,
+        edge_alive.data() + base, nbrs.size());
+    const EdgeId best =
+        best_slot == simd::npos ? kInvalidEdge : nbrs[best_slot].edge;
     target[v] = best;
     if (best == kInvalidEdge) return;  // no candidates left: halt
 

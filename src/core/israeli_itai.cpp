@@ -4,6 +4,7 @@
 
 #include "faults/injector.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/simd.hpp"
 
 namespace lps {
 
@@ -50,15 +51,14 @@ DistMatchingResult israeli_itai(const Graph& g,
       matched_edge[v] = opts.initial->matched_edge(v);
     }
   }
-  // free_neighbor[slot in adjacency list] per node, flattened.
-  std::vector<std::size_t> adj_offset(n + 1, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    adj_offset[v + 1] = adj_offset[v] + g.degree(v);
-  }
-  std::vector<char> neighbor_free(adj_offset[n], 1);
+  // free_neighbor per arc, laid out at CSR arc positions (offsets[v] + i
+  // for v's i-th incidence) — the same indexing the engine's inbox slots
+  // use, so a kMatched arrival updates its flag without scanning the row.
+  const std::vector<std::uint64_t>& adj_offset = g.store().offsets;
+  std::vector<std::uint8_t> neighbor_free(adj_offset[n], 1);
   // Initialize neighbor liveness against the initial matching.
   {
-    std::vector<char> is_matched(n, 0);
+    std::vector<std::uint8_t> is_matched(n, 0);
     for (NodeId v = 0; v < n; ++v) {
       if (matched_edge[v] != kInvalidEdge) is_matched[v] = 1;
     }
@@ -69,12 +69,12 @@ DistMatchingResult israeli_itai(const Graph& g,
       }
     }
   }
-  std::vector<char> coin(n, 0);
+  std::vector<std::uint8_t> coin(n, 0);
   std::vector<EdgeId> proposal_edge(n, kInvalidEdge);
   // Set by a node at stage 0 when it is free and still sees a free
   // active neighbor; used for termination detection (a phase in which no
   // node had any candidate can never make progress again).
-  std::vector<char> had_candidates(n, 0);
+  std::vector<std::uint8_t> had_candidates(n, 0);
 
   IiNet net(g, opts.seed, IiBits{});
   net.set_thread_pool(opts.pool);
@@ -102,14 +102,10 @@ DistMatchingResult israeli_itai(const Graph& g,
     const int stage = static_cast<int>(ctx.round() % 3);
 
     // Matched-announcements can arrive at any stage; process them first.
+    // The inbox slot IS the arc position, so the flag update is direct.
     for (const auto& in : ctx.inbox()) {
       if (in.payload->type == IiType::kMatched) {
-        for (std::size_t i = 0; i < nbrs.size(); ++i) {
-          if (nbrs[i].edge == in.edge) {
-            neighbor_free[adj_offset[v] + i] = 0;
-            break;
-          }
-        }
+        neighbor_free[adj_offset[v] + in.slot] = 0;
       }
     }
     const bool free = matched_edge[v] == kInvalidEdge;
@@ -183,9 +179,7 @@ DistMatchingResult israeli_itai(const Graph& g,
     // `neighbor_free` flags only turn off on true matched-announcements,
     // so "no node saw a candidate" certifies maximality (stale flags can
     // only cause extra phases, never early termination).
-    bool any = false;
-    for (NodeId v = 0; v < n; ++v) any = any || had_candidates[v];
-    if (!any) {
+    if (!simd::any_ne_u8(had_candidates.data(), n, 0)) {
       converged = true;
       break;
     }
@@ -245,9 +239,7 @@ DistMatchingResult israeli_itai(const Graph& g,
         net.run_round(step);  // stage 0
         net.run_round(step);  // stage 1
         net.run_round(step);  // stage 2
-        bool any = false;
-        for (NodeId v = 0; v < n; ++v) any = any || had_candidates[v];
-        if (!any) break;
+        if (!simd::any_ne_u8(had_candidates.data(), n, 0)) break;
       }
     }
   }

@@ -5,6 +5,7 @@
 
 #include "faults/injector.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/simd.hpp"
 
 namespace lps {
 
@@ -29,6 +30,15 @@ struct MisBits {
 using MisNet = SyncNetwork<MisMessage, MisBits>;
 
 enum class NodeState : std::uint8_t { kLive, kIn, kOut };
+
+/// Convergence test, a dense byte scan: any node still kLive? The state
+/// column is a contiguous u8 array, so this is one simd sweep with the
+/// early-exit granularity picked by simd::block_bytes().
+bool any_live_node(const std::vector<NodeState>& state) {
+  return simd::any_eq_u8(reinterpret_cast<const std::uint8_t*>(state.data()),
+                         state.size(),
+                         static_cast<std::uint8_t>(NodeState::kLive));
+}
 
 /// Shared MIS reconciliation under message faults (luby + abi). Message
 /// loss can admit two adjacent winners (a dropped value/mark hides the
@@ -160,11 +170,7 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
   for (std::uint64_t phase = 0; phase < max_phases; ++phase) {
     net.run_round(step);
     net.run_round(step);
-    bool any_live = false;
-    for (NodeId v = 0; v < n; ++v) {
-      any_live = any_live || state[v] == NodeState::kLive;
-    }
-    if (!any_live) {
+    if (!any_live_node(state)) {
       out.converged = true;
       break;
     }
@@ -174,11 +180,7 @@ MisResult luby_mis(const Graph& g, const MisOptions& opts) {
       for (std::uint64_t phase = 0; phase < 8; ++phase) {
         net.run_round(step);
         net.run_round(step);
-        bool any_live = false;
-        for (NodeId v = 0; v < n; ++v) {
-          any_live = any_live || state[v] == NodeState::kLive;
-        }
-        if (!any_live) break;
+        if (!any_live_node(state)) break;
       }
     });
   }
@@ -289,11 +291,7 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
     net.run_round(step);
     net.run_round(step);
     net.run_round(step);
-    bool any_live = false;
-    for (NodeId v = 0; v < n; ++v) {
-      any_live = any_live || state[v] == NodeState::kLive;
-    }
-    if (!any_live) {
+    if (!any_live_node(state)) {
       out.converged = true;
       break;
     }
@@ -307,11 +305,7 @@ MisResult abi_mis(const Graph& g, const MisOptions& opts) {
         net.run_round(step);
         net.run_round(step);
         net.run_round(step);
-        bool any_live = false;
-        for (NodeId v = 0; v < n; ++v) {
-          any_live = any_live || state[v] == NodeState::kLive;
-        }
-        if (!any_live) break;
+        if (!any_live_node(state)) break;
       }
     });
   }

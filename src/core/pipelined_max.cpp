@@ -91,13 +91,13 @@ PipelinedMaxResult pipelined_max(
     }
   }
 
-  // Per-node per-child qualification flags and the output stream the
-  // node emits (recorded at the root to reassemble the max).
-  std::vector<std::vector<char>> child_qualified(n);
+  // Per-child qualification flags at CSR arc positions (offsets[v] + i
+  // for v's i-th incidence — the same indexing the engine's inbox slots
+  // use), and the output stream each node emits (recorded at the root
+  // to reassemble the max).
+  const std::vector<std::uint64_t>& adj_offset = g.store().offsets;
+  std::vector<std::uint8_t> child_qualified(adj_offset[n], 1);
   std::vector<std::vector<std::uint32_t>> emitted(n);
-  for (NodeId v = 0; v < n; ++v) {
-    child_qualified[v].assign(g.degree(v), 1);
-  }
 
   ChunkNet net(g, 0, ChunkBits{static_cast<std::uint64_t>(chunk_bits)});
   net.set_thread_pool(pool);
@@ -119,8 +119,8 @@ PipelinedMaxResult pipelined_max(
     const std::size_t i = static_cast<std::size_t>(round - start);
 
     // Merge this position: own chunk (if still qualified) vs child
-    // chunks that arrived this round from still-qualified children.
-    const auto nbrs = ctx.graph().neighbors(v);
+    // chunks that arrived this round from still-qualified children. The
+    // inbox slot IS the child's arc position — no row scan.
     std::uint32_t best = 0;
     bool have = false;
     if (own_qualified[v]) {
@@ -129,24 +129,18 @@ PipelinedMaxResult pipelined_max(
     }
     std::vector<std::pair<std::size_t, std::uint32_t>> arrived;
     for (const auto& in : ctx.inbox()) {
-      // Locate the child slot.
-      for (std::size_t slot = 0; slot < nbrs.size(); ++slot) {
-        if (nbrs[slot].edge == in.edge && in.from != parent[v]) {
-          if (child_qualified[v][slot]) {
-            arrived.emplace_back(slot, in.payload->chunk);
-            best = have ? std::max(best, in.payload->chunk)
-                        : in.payload->chunk;
-            have = true;
-          }
-          break;
-        }
-      }
+      if (in.from == parent[v]) continue;
+      const std::size_t arc = adj_offset[v] + in.slot;
+      if (!child_qualified[arc]) continue;
+      arrived.emplace_back(arc, in.payload->chunk);
+      best = have ? std::max(best, in.payload->chunk) : in.payload->chunk;
+      have = true;
     }
     if (!have) return;  // no qualified source reaches v
     // Disqualify losers at this position (MSB-first elimination).
     if (own_qualified[v] && own[v][i] < best) own_qualified[v] = 0;
-    for (const auto& [slot, chunk] : arrived) {
-      if (chunk < best) child_qualified[v][slot] = 0;
+    for (const auto& [arc, chunk] : arrived) {
+      if (chunk < best) child_qualified[arc] = 0;
     }
     emitted[v].push_back(best);
     if (v != root) {

@@ -5,6 +5,7 @@
 
 #include "core/class_mwm.hpp"
 #include "core/gain.hpp"
+#include "runtime/simd.hpp"
 #include "seq/greedy.hpp"
 #include "util/rng.hpp"
 
@@ -64,15 +65,11 @@ WeightedMwmResult weighted_mwm(const WeightedGraph& wg,
     // gains from edges with w_M <= 0, and the class black box requires
     // positive weights.
     std::vector<char> keep_edge(g.num_edges(), 0);
-    bool any = false;
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (gains[e] > 0.0) {
-        keep_edge[e] = 1;
-        any = true;
-      }
-    }
+    const std::size_t positive = simd::mask_positive_f64(
+        gains.data(), g.num_edges(),
+        reinterpret_cast<std::uint8_t*>(keep_edge.data()));
     ++result.iterations;
-    if (!any) {
+    if (positive == 0) {
       result.converged_early = true;
       result.weight_trajectory.push_back(result.matching.weight(wg));
       break;

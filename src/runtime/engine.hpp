@@ -27,10 +27,19 @@
 //  * Epoch-stamped channels. Each directed channel (edge, direction) has
 //    a round-stamp instead of a std::optional slot; "two sends on one
 //    channel in one round" is a stamp comparison and there is no
-//    O(m) per-round reset sweep. Payloads ride in per-worker send lists
-//    sized by actual traffic, each tagged at send time with its
-//    receiver and the receiver-side incidence position (so delivery
-//    never touches the graph).
+//    O(m) per-round reset sweep.
+//  * Structure-of-arrays message staging (DESIGN.md §15). A message in
+//    flight is not a struct: its receiver, its receiver-side incidence
+//    position (the inbox sort key), and its payload ride in parallel
+//    typed columns, per worker at send time and per shard slice after
+//    the exchange. Sender id and edge id are never stored at all — an
+//    inbox entry's key names the arc offsets[to] + key, whose adj_to /
+//    adj_edge entries are exactly the sender and the edge, so the
+//    InboxView proxy re-derives both from the receiver's own (cache-
+//    hot) CSR row at read time. The counting-sort passes therefore move
+//    8–12 bytes + sizeof(M) per message instead of a 32-byte-plus
+//    struct, and the inbox scan is a linear sweep over two contiguous
+//    typed arrays.
 //  * Sharded mailbox delivery. Vertices are partitioned into contiguous
 //    power-of-two shards sized to the L2 cache (runtime/shard.hpp). A
 //    round's sends are first counting-sorted by destination shard (the
@@ -69,7 +78,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <span>
+#include <iterator>
+#include <numeric>
 #include <stdexcept>
 #include <type_traits>
 #include <utility>
@@ -99,12 +109,81 @@ struct DefaultBitMeter {
 template <typename M, typename Meter = std::function<std::uint64_t(const M&)>>
 class SyncNetwork {
  public:
-  /// A delivered message: sender, the edge it traveled on, payload. The
-  /// payload pointer is valid for the round the message is delivered in.
+  /// A delivered message: sender, the edge it traveled on, payload, and
+  /// the arrival edge's position in the receiver's incidence list
+  /// (`slot` — so handlers can index per-slot state directly instead of
+  /// scanning their row for the edge). The payload pointer is valid for
+  /// the round the message is delivered in.
   struct Incoming {
     NodeId from;
     EdgeId edge;
     const M* payload;
+    std::uint32_t slot;
+  };
+
+  /// Proxy over one receiver's slice of the delivery columns: `keys`
+  /// (incidence positions, ascending) and `payloads`. `from` and `edge`
+  /// are not stored anywhere — each is re-derived from the receiver's
+  /// CSR row at the arc the key names, so iteration materializes
+  /// Incoming values on the fly from contiguous typed arrays.
+  class InboxView {
+   public:
+    InboxView() = default;
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+    Incoming operator[](std::size_t i) const noexcept {
+      const std::uint32_t k = keys_[i];
+      return Incoming{row_to_[k], row_edge_[k], payloads_ + i, k};
+    }
+
+    class iterator {
+     public:
+      using iterator_category = std::input_iterator_tag;
+      using value_type = Incoming;
+      using difference_type = std::ptrdiff_t;
+      using pointer = const Incoming*;
+      using reference = Incoming;
+      iterator() = default;
+      Incoming operator*() const noexcept { return (*view_)[i_]; }
+      iterator& operator++() noexcept {
+        ++i_;
+        return *this;
+      }
+      iterator operator++(int) noexcept {
+        iterator t = *this;
+        ++i_;
+        return t;
+      }
+      bool operator==(const iterator& o) const noexcept { return i_ == o.i_; }
+      bool operator!=(const iterator& o) const noexcept { return i_ != o.i_; }
+
+     private:
+      friend class InboxView;
+      iterator(const InboxView* v, std::size_t i) : view_(v), i_(i) {}
+      const InboxView* view_ = nullptr;
+      std::size_t i_ = 0;
+    };
+    iterator begin() const noexcept { return iterator(this, 0); }
+    iterator end() const noexcept { return iterator(this, size_); }
+
+    /// Raw column access, for handlers that want the linear sweep.
+    const std::uint32_t* keys() const noexcept { return keys_; }
+    const M* payloads() const noexcept { return payloads_; }
+
+   private:
+    friend class SyncNetwork;
+    InboxView(const std::uint32_t* keys, const M* payloads,
+              const NodeId* row_to, const EdgeId* row_edge, std::size_t n)
+        : keys_(keys),
+          payloads_(payloads),
+          row_to_(row_to),
+          row_edge_(row_edge),
+          size_(n) {}
+    const std::uint32_t* keys_ = nullptr;
+    const M* payloads_ = nullptr;
+    const NodeId* row_to_ = nullptr;    // receiver's adj_to row base
+    const EdgeId* row_edge_ = nullptr;  // receiver's adj_edge row base
+    std::size_t size_ = 0;
   };
 
   using BitMeter = std::function<std::uint64_t(const M&)>;
@@ -119,20 +198,27 @@ class SyncNetwork {
     NodeId id() const noexcept { return id_; }
     std::uint64_t round() const noexcept { return net_->round_; }
     const Graph& graph() const noexcept { return *net_->graph_; }
-    Rng& rng() noexcept { return rng_; }
-    std::span<const Incoming> inbox() const noexcept { return inbox_; }
+    /// The node's per-(node, round) substream, derived on first use —
+    /// steps that never draw (most receivers, most rounds of most
+    /// protocols) skip the hash entirely; the stream is the same either
+    /// way, so laziness cannot perturb an execution.
+    Rng& rng() noexcept {
+      if (!rng_ready_) {
+        rng_ = Rng::substream(net_->seed_, std::uint64_t{id_}, net_->round_);
+        rng_ready_ = true;
+      }
+      return rng_;
+    }
+    const InboxView& inbox() const noexcept { return inbox_; }
 
     /// Send along edge e to the other endpoint (delivered next round).
     void send(EdgeId e, M msg) {
       net_->enqueue(id_, e, std::move(msg), *worker_);
     }
 
-    /// Send a copy of msg to every neighbor.
-    void send_all(const M& msg) {
-      for (const Graph::Incidence& inc : graph().neighbors(id_)) {
-        send(inc.edge, msg);
-      }
-    }
+    /// Send a copy of msg to every neighbor (one row walk, no per-edge
+    /// arc lookup).
+    void send_all(const M& msg) { net_->enqueue_all(id_, msg, *worker_); }
 
     /// Stay in the next round's active set even without incoming
     /// messages. Call it whenever this node might act spontaneously next
@@ -146,7 +232,8 @@ class SyncNetwork {
     SyncNetwork* net_ = nullptr;
     NodeId id_ = kInvalidNode;
     Rng rng_{0};
-    std::span<const Incoming> inbox_;
+    bool rng_ready_ = false;
+    InboxView inbox_;
     PerWorker* worker_ = nullptr;
   };
 
@@ -155,13 +242,10 @@ class SyncNetwork {
         seed_(seed),
         meter_(std::move(meter)),
         plan_(plan_shards(g.num_nodes(), /*requested=*/0)),
-        slot_stamp_(2 * static_cast<std::size_t>(g.num_edges()), kNever),
-        rcv_slot_(2 * static_cast<std::size_t>(g.num_edges())),
-        inbox_stamp_(g.num_nodes(), kNever),
-        inbox_off_(g.num_nodes()),
-        inbox_cur_(g.num_nodes()),
-        inbox_cnt_(g.num_nodes()),
-        active_stamp_(g.num_nodes(), kNever),
+        arc_meta_(2 * static_cast<std::size_t>(g.num_edges()),
+                  ArcMeta{kNeverEpoch, 0}),
+        inbox_meta_(g.num_nodes(), InboxMeta{kNeverEpoch, 0, 0, 0}),
+        active_stamp_(g.num_nodes(), kNeverEpoch),
         shard_active_(plan_.count) {
     if constexpr (std::is_same_v<Meter, BitMeter>) {
       if (!meter_) meter_ = DefaultBitMeter<M>{};
@@ -172,7 +256,9 @@ class SyncNetwork {
     // shard-local by construction — instead of at edge-table positions
     // that are random relative to vertex order. Precompute, per arc
     // v -> to, the position of v in to's row (the receiver-side
-    // incidence position: the canonical inbox sort key).
+    // incidence position: the canonical inbox sort key); it shares a
+    // cache line with the channel's send stamp, so the send path reads
+    // one per-arc location, not two.
     const GraphStore& s = g.store();
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       const std::uint64_t base = s.offsets[v];
@@ -183,7 +269,7 @@ class SyncNetwork {
         const NodeId* row = s.adj_to.data() + s.offsets[to];
         const NodeId* hit =
             std::lower_bound(row, s.adj_to.data() + s.offsets[to + 1], v);
-        rcv_slot_[a] = static_cast<std::uint32_t>(hit - row);
+        arc_meta_[a].slot = static_cast<std::uint32_t>(hit - row);
       }
     }
   }
@@ -227,6 +313,17 @@ class SyncNetwork {
   void set_message_faults(faults::MessageFaultInjector* injector) noexcept {
 #if LPS_FAULTS
     faults_ = injector;
+    seq_on_ = injector != nullptr && injector->message_faults();
+    // The seq column is maintained only while message faults are on; if
+    // the injector is attached between rounds with sends still staged,
+    // backfill their seqs (all were sent in the round just executed).
+    if (seq_on_) {
+      const auto sent_round =
+          static_cast<std::uint32_t>(round_ == 0 ? 0 : round_ - 1);
+      for (PerWorker& w : workers_) {
+        w.send_seq.resize(w.send_to.size(), sent_round);
+      }
+    }
 #else
     (void)injector;
 #endif
@@ -264,7 +361,7 @@ class SyncNetwork {
     const std::uint64_t t_round = tel ? telemetry::now_ns() : 0;
 
     build_inboxes(tmetrics, ttrace);
-    delivered_last_round_ = deliveries_.size();
+    delivered_last_round_ = dlv_key_.size();
 
     const bool all = step_all_ || (round_ == 0 && !initial_restricted_);
     if (all) {
@@ -295,14 +392,17 @@ class SyncNetwork {
     auto process = [&](unsigned worker, std::size_t begin, std::size_t end) {
       PerWorker& pw = workers_[worker];
       const std::uint64_t t_chunk = tel ? telemetry::now_ns() : 0;
+      // One Ctx per chunk, reset per node: constructing the embedded Rng
+      // runs the xoshiro seeding expansion, pure waste for steps that
+      // never draw (rng() re-seeds from the substream on first use).
+      Ctx ctx;
+      ctx.net_ = this;
+      ctx.worker_ = &pw;
       for (std::size_t i = begin; i < end; ++i) {
         const NodeId node = all ? static_cast<NodeId>(i) : active_[i];
-        Ctx ctx;
-        ctx.net_ = this;
         ctx.id_ = node;
-        ctx.rng_ = Rng::substream(seed_, std::uint64_t{node}, round_);
+        ctx.rng_ready_ = false;
         ctx.inbox_ = inbox_of(node);
-        ctx.worker_ = &pw;
         step(ctx);
       }
       if (tel) pw.busy_ns += telemetry::now_ns() - t_chunk;
@@ -397,41 +497,56 @@ class SyncNetwork {
   }
 
  private:
-  static constexpr std::uint64_t kNever = static_cast<std::uint64_t>(-1);
+  // Round stamps in the hot bookkeeping are 32-bit epochs: the low word
+  // of round_. kNeverEpoch doubles as "never touched"; a live stamp
+  // could only alias it in round 2^32 - 1 (decades of rounds at any
+  // realistic rate), accepted in exchange for halving the stamp
+  // footprint in the per-arc and per-receiver metadata.
+  static constexpr std::uint32_t kNeverEpoch =
+      static_cast<std::uint32_t>(-1);
+  std::uint32_t epoch() const noexcept {
+    return static_cast<std::uint32_t>(round_);
+  }
 
-  /// A payload in flight. Sender-side sends are fully resolved at
-  /// enqueue time — receiver, edge, and receiver-side incidence position
-  /// ride along — so the delivery phases never consult the graph.
-  struct SendRec {
-    std::uint32_t key;  // position in the receiver's incidence list
-    std::uint32_t seq;  // round the message was sent (inbox tiebreak)
-    NodeId from;
-    NodeId to;
-    EdgeId edge;
-    M msg;
+  /// Per-arc channel metadata, packed so the send path touches one
+  /// 8-byte record per arc: the round of the channel's last send
+  /// (double-send detection) and the receiver-side incidence position
+  /// (the inbox sort key).
+  struct ArcMeta {
+    std::uint32_t stamp;
+    std::uint32_t slot;
   };
 
-  /// A delivered message being staged into a receiver's mailbox range;
-  /// `key` is the position of the arrival edge in the receiver's
-  /// incidence list (the canonical inbox sort key). `seq` breaks ties
-  /// when fault injection lands several messages from one channel in
-  /// one round (a delayed message catching up with a fresh one): the
-  /// older send sorts first, on any thread or shard count. Fault-free
-  /// rounds never have equal keys in one inbox, so the tiebreak is
-  /// vacuous there.
-  struct Delivery {
-    std::uint32_t key;
-    std::uint32_t seq;
-    NodeId from;
-    NodeId to;
-    EdgeId edge;
-    M payload;
+  /// Per-receiver inbox bookkeeping, packed into 16 bytes so the
+  /// exchange's counting passes and inbox_of() touch one cache line
+  /// fragment per receiver instead of four separate arrays. `off` and
+  /// `cur` index the delivery columns: per-round deliveries must fit in
+  /// 32 bits (≥ 4.2B messages/round is far beyond the 2m channel bound
+  /// for any graph this engine addresses).
+  struct InboxMeta {
+    std::uint32_t stamp;
+    std::uint32_t cnt;
+    std::uint32_t off;
+    std::uint32_t cur;
   };
 
   /// Per-worker accumulators, cache-line separated. Only the worker that
   /// owns the struct touches it during a round.
+  ///
+  /// Outbound sends are parallel columns, fully resolved at enqueue
+  /// time: `send_to[i]` is message i's receiver, `send_key[i]` the
+  /// receiver-side incidence position of its arrival arc (which also
+  /// determines sender and edge — see InboxView), `send_msg[i]` the
+  /// payload. `send_seq` (the send round, the inbox tiebreak when fault
+  /// injection lands two messages from one channel in one round) is
+  /// populated only while message faults are active: fault-free inboxes
+  /// never repeat a key, so the column would be dead weight in the
+  /// exchange sweeps.
   struct alignas(64) PerWorker {
-    std::vector<SendRec> sends;
+    std::vector<NodeId> send_to;
+    std::vector<std::uint32_t> send_key;
+    std::vector<std::uint32_t> send_seq;
+    std::vector<M> send_msg;
     std::vector<NodeId> wake;
     NetStats stats;
     std::uint64_t busy_ns = 0;  // step-loop time this round (telemetry)
@@ -449,15 +564,41 @@ class SyncNetwork {
     if (arc == end) {
       throw std::logic_error("SyncNetwork::send: sender not an endpoint");
     }
-    if (slot_stamp_[arc] == round_) {
+    ArcMeta& am = arc_meta_[arc];
+    if (am.stamp == epoch()) {
       throw std::logic_error(
           "SyncNetwork::send: two messages on one channel in one round");
     }
-    slot_stamp_[arc] = round_;
+    am.stamp = epoch();
     w.stats.note_message(meter_(msg));
-    w.sends.push_back(SendRec{rcv_slot_[arc],
-                              static_cast<std::uint32_t>(round_), from,
-                              s.adj_to[arc], e, std::move(msg)});
+    w.send_to.push_back(s.adj_to[arc]);
+    w.send_key.push_back(am.slot);
+#if LPS_FAULTS
+    if (seq_on_) w.send_seq.push_back(static_cast<std::uint32_t>(round_));
+#endif
+    w.send_msg.push_back(std::move(msg));
+  }
+
+  /// send_all: one pass over the sender's row, no per-edge arc lookup.
+  void enqueue_all(NodeId from, const M& msg, PerWorker& w) {
+    const GraphStore& s = graph_->store();
+    const std::uint64_t base = s.offsets[from];
+    const std::uint64_t end = s.offsets[from + 1];
+    for (std::uint64_t arc = base; arc < end; ++arc) {
+      ArcMeta& am = arc_meta_[arc];
+      if (am.stamp == epoch()) {
+        throw std::logic_error(
+            "SyncNetwork::send: two messages on one channel in one round");
+      }
+      am.stamp = epoch();
+      w.stats.note_message(meter_(msg));
+      w.send_to.push_back(s.adj_to[arc]);
+      w.send_key.push_back(am.slot);
+#if LPS_FAULTS
+      if (seq_on_) w.send_seq.push_back(static_cast<std::uint32_t>(round_));
+#endif
+      w.send_msg.push_back(msg);
+    }
   }
 
   void ensure_workers() {
@@ -468,65 +609,98 @@ class SyncNetwork {
   }
 
   void mark_active(NodeId v) {
-    if (active_stamp_[v] != round_) {
-      active_stamp_[v] = round_;
+    if (active_stamp_[v] != epoch()) {
+      active_stamp_[v] = epoch();
       shard_active_[plan_.shard_of(v)].push_back(v);
     }
   }
 
 #if LPS_FAULTS
+  /// A message pulled out of the normal flow by a fault (delayed, or a
+  /// duplicate awaiting re-injection). Cold path, so a plain struct.
+  struct PendingRec {
+    std::uint64_t due;  // round at whose exchange it re-enters
+    NodeId to;
+    std::uint32_t key;
+    std::uint32_t seq;
+    M msg;
+  };
+
+  void push_pending(PendingRec&& rec) {
+    PerWorker& w = workers_[0];
+    w.send_to.push_back(rec.to);
+    w.send_key.push_back(rec.key);
+    w.send_seq.push_back(rec.seq);
+    w.send_msg.push_back(std::move(rec.msg));
+  }
+
   /// Apply message fates to last round's sends, serially, before the
   /// counting-sort phases see them. Each message is decided exactly once
   /// (at its first delivery attempt); a delayed message is re-injected
   /// verbatim in its due round. Re-injected and duplicated records ride
-  /// in worker 0's list — which list carries a record never matters,
-  /// because the per-inbox (key, seq) sort fixes the final order.
+  /// in worker 0's columns — which worker carries a record never
+  /// matters, because the per-inbox (key, seq) sort fixes the final
+  /// order. The fate is keyed on (edge, sender, round); both derive
+  /// from the receiver-side arc named by the message's key.
   void inject_message_faults() {
+    const GraphStore& s = graph_->store();
     telemetry::EventLog& elog = telemetry::EventLog::global();
     const bool tevents = elog.recording();
     for (PerWorker& w : workers_) {
-      const std::size_t n_sends = w.sends.size();
+      const std::size_t n_sends = w.send_to.size();
       std::size_t out = 0;
       for (std::size_t i = 0; i < n_sends; ++i) {
-        SendRec& rec = w.sends[i];
-        const faults::MessageFate fate =
-            faults_->decide(rec.edge, rec.from, round_);
+        const NodeId to = w.send_to[i];
+        const std::uint32_t key = w.send_key[i];
+        const std::uint64_t arc = s.offsets[to] + key;
+        const EdgeId edge = s.adj_edge[arc];
+        const NodeId from = s.adj_to[arc];
+        const faults::MessageFate fate = faults_->decide(edge, from, round_);
         if (fate.drop) {
           if (tevents) {
-            elog.emit(telemetry::EventKind::kFaultDrop, round_, rec.edge,
-                      rec.from);
+            elog.emit(telemetry::EventKind::kFaultDrop, round_, edge, from);
           }
           continue;
         }
         if (fate.delay > 0) {
           if (tevents) {
-            elog.emit(telemetry::EventKind::kFaultDelay, round_, rec.edge,
-                      rec.from, fate.delay);
+            elog.emit(telemetry::EventKind::kFaultDelay, round_, edge, from,
+                      fate.delay);
           }
-          delayed_.push_back(DelayedRec{round_ + fate.delay, std::move(rec)});
+          delayed_.push_back(PendingRec{round_ + fate.delay, to, key,
+                                        w.send_seq[i],
+                                        std::move(w.send_msg[i])});
           continue;
         }
         if (fate.dup) {
           if constexpr (std::is_copy_constructible_v<M>) {
             if (tevents) {
-              elog.emit(telemetry::EventKind::kFaultDup, round_, rec.edge,
-                        rec.from);
+              elog.emit(telemetry::EventKind::kFaultDup, round_, edge, from);
             }
-            dup_buf_.push_back(rec);
+            dup_buf_.push_back(
+                PendingRec{round_, to, key, w.send_seq[i], w.send_msg[i]});
           }
         }
-        if (out != i) w.sends[out] = std::move(rec);
+        if (out != i) {
+          w.send_to[out] = to;
+          w.send_key[out] = key;
+          w.send_seq[out] = w.send_seq[i];
+          w.send_msg[out] = std::move(w.send_msg[i]);
+        }
         ++out;
       }
-      w.sends.resize(out);
+      w.send_to.resize(out);
+      w.send_key.resize(out);
+      w.send_seq.resize(out);
+      w.send_msg.resize(out);
     }
-    for (SendRec& rec : dup_buf_) workers_[0].sends.push_back(std::move(rec));
+    for (PendingRec& rec : dup_buf_) push_pending(std::move(rec));
     dup_buf_.clear();
     if (!delayed_.empty()) {
       std::size_t keep = 0;
-      for (DelayedRec& d : delayed_) {
+      for (PendingRec& d : delayed_) {
         if (d.due <= round_) {
-          workers_[0].sends.push_back(std::move(d.rec));
+          push_pending(std::move(d));
         } else {
           delayed_[keep++] = std::move(d);
         }
@@ -536,17 +710,74 @@ class SyncNetwork {
   }
 #endif
 
-  /// Merge last round's per-worker send lists into contiguous
+  /// Put one inbox range [off, off + cnt) of the delivery columns into
+  /// incidence order: ascending key, ties (possible only under message
+  /// faults, where colliding records are bit-identical copies) broken
+  /// by ascending seq. Small inboxes use an insertion sort that co-moves
+  /// the columns; large ones sort a permutation and apply it, keeping
+  /// the worst case O(cnt log cnt).
+  void sort_inbox(std::size_t off, std::uint32_t cnt, bool with_seq) {
+    if (cnt < 2) return;
+    std::uint32_t* keys = dlv_key_.data() + off;
+    M* msgs = dlv_msg_.data() + off;
+    std::uint32_t* seqs = with_seq ? dlv_seq_.data() + off : nullptr;
+    constexpr std::uint32_t kInsertionMax = 32;
+    if (cnt <= kInsertionMax) {
+      for (std::uint32_t i = 1; i < cnt; ++i) {
+        const std::uint32_t k = keys[i];
+        const std::uint32_t q = with_seq ? seqs[i] : 0;
+        if (keys[i - 1] < k || (keys[i - 1] == k && (!with_seq || seqs[i - 1] <= q))) {
+          continue;  // already in place — the common case
+        }
+        M m = std::move(msgs[i]);
+        std::uint32_t j = i;
+        for (; j > 0 && (keys[j - 1] > k ||
+                         (keys[j - 1] == k && with_seq && seqs[j - 1] > q));
+             --j) {
+          keys[j] = keys[j - 1];
+          if (with_seq) seqs[j] = seqs[j - 1];
+          msgs[j] = std::move(msgs[j - 1]);
+        }
+        keys[j] = k;
+        if (with_seq) seqs[j] = q;
+        msgs[j] = std::move(m);
+      }
+      return;
+    }
+    std::vector<std::uint32_t> order(cnt);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (keys[a] != keys[b]) return keys[a] < keys[b];
+                return with_seq && seqs[a] < seqs[b];
+              });
+    std::vector<std::uint32_t> tmp_k(cnt);
+    std::vector<M> tmp_m(cnt);
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      tmp_k[i] = keys[order[i]];
+      tmp_m[i] = std::move(msgs[order[i]]);
+    }
+    std::move(tmp_k.begin(), tmp_k.end(), keys);
+    std::move(tmp_m.begin(), tmp_m.end(), msgs);
+    if (with_seq) {
+      for (std::uint32_t i = 0; i < cnt; ++i) tmp_k[i] = seqs[order[i]];
+      std::move(tmp_k.begin(), tmp_k.end(), seqs);
+    }
+  }
+
+  /// Merge last round's per-worker send columns into contiguous
   /// per-receiver inbox ranges, in two counting-sort phases:
   ///
   ///  1. Boundary exchange: scatter every send into its destination
-  ///     shard's slice of `scratch_` (counting sort on shard id — the
-  ///     only pass whose memory touches are cross-shard).
+  ///     shard's slice of the scratch columns (counting sort on shard
+  ///     id — the only pass whose memory touches are cross-shard).
   ///  2. Per shard: counting-sort the shard's slice by receiver into
-  ///     `deliveries_` and put each inbox range into incidence order.
-  ///     Every vertex-indexed access (stamps, counts, offsets) falls in
-  ///     the shard's contiguous id range, which is sized to L2.
+  ///     the delivery columns and put each inbox range into incidence
+  ///     order. Every vertex-indexed access (stamps, counts, offsets)
+  ///     falls in the shard's contiguous id range, which is sized to L2.
   ///
+  /// Both passes are linear sweeps over the typed columns: per message
+  /// they move {to, key[, seq]} plus the payload and nothing else.
   /// O(messages + active shards). Shard slices are disjoint in every
   /// array they touch, so phase 2 runs shard-parallel under a pool.
   void build_inboxes(bool tmetrics, bool ttrace) {
@@ -556,16 +787,20 @@ class SyncNetwork {
     const bool tevents = elog.recording();
 #if LPS_FAULTS
     // Fault seam: one branch per round when compiled in but off; the
-    // serial pass mutates only per-worker send lists plus the delayed
+    // serial pass mutates only per-worker send columns plus the delayed
     // queue, before any counting begins.
     if (faults_ != nullptr && faults_->message_faults()) {
       inject_message_faults();
     }
+    const bool with_seq = seq_on_;
+#else
+    constexpr bool with_seq = false;
 #endif
     std::size_t total = 0;
-    for (const PerWorker& w : workers_) total += w.sends.size();
-    deliveries_.clear();
-    inbox_entries_.clear();
+    for (const PerWorker& w : workers_) total += w.send_to.size();
+    dlv_key_.clear();
+    dlv_seq_.clear();
+    dlv_msg_.clear();
     if (shard_receivers_.size() != plan_.count) {
       shard_receivers_.assign(plan_.count, {});
     }
@@ -577,26 +812,31 @@ class SyncNetwork {
     // Phase 1: bin by destination shard.
     shard_cnt_.assign(num_shards + 1, 0);
     for (const PerWorker& w : workers_) {
-      for (const SendRec& rec : w.sends) {
-        ++shard_cnt_[plan_.shard_of(rec.to) + 1];
+      for (const NodeId to : w.send_to) {
+        ++shard_cnt_[plan_.shard_of(to) + 1];
       }
     }
     for (unsigned s = 0; s < num_shards; ++s) {
       shard_cnt_[s + 1] += shard_cnt_[s];
     }
     shard_off_ = shard_cnt_;  // keep range boundaries; shard_cnt_ cursors
-    scratch_.resize(total);
+    scr_to_.resize(total);
+    scr_key_.resize(total);
+    if (with_seq) scr_seq_.resize(total);
+    scr_msg_.resize(total);
     for (PerWorker& w : workers_) {
-      for (SendRec& rec : w.sends) {
-        Delivery& d = scratch_[shard_cnt_[plan_.shard_of(rec.to)]++];
-        d.key = rec.key;
-        d.seq = rec.seq;
-        d.from = rec.from;
-        d.to = rec.to;
-        d.edge = rec.edge;
-        d.payload = std::move(rec.msg);
+      const std::size_t k = w.send_to.size();
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t pos = shard_cnt_[plan_.shard_of(w.send_to[i])]++;
+        scr_to_[pos] = w.send_to[i];
+        scr_key_[pos] = w.send_key[i];
+        if (with_seq) scr_seq_[pos] = w.send_seq[i];
+        scr_msg_[pos] = std::move(w.send_msg[i]);
       }
-      w.sends.clear();
+      w.send_to.clear();
+      w.send_key.clear();
+      w.send_seq.clear();
+      w.send_msg.clear();
     }
     const std::uint64_t t_p1_end = tel ? telemetry::now_ns() : 0;
     if (tmetrics) {
@@ -614,9 +854,11 @@ class SyncNetwork {
 
     // Phase 2: within each shard, counting-sort by receiver. A shard's
     // deliveries occupy exactly its slice [shard_off_[s], shard_off_[s+1])
-    // of deliveries_, so shards are independent.
-    deliveries_.resize(total);
-    const std::uint64_t tag = round_;
+    // of the delivery columns, so shards are independent.
+    dlv_key_.resize(total);
+    if (with_seq) dlv_seq_.resize(total);
+    dlv_msg_.resize(total);
+    const std::uint32_t tag = epoch();
     auto build_shard = [&](unsigned s) {
       const std::size_t sb = shard_off_[s];
       const std::size_t se = shard_off_[s + 1];
@@ -624,31 +866,30 @@ class SyncNetwork {
       const std::uint64_t t_s0 = tel ? telemetry::now_ns() : 0;
       std::vector<NodeId>& recv = shard_receivers_[s];
       for (std::size_t i = sb; i < se; ++i) {
-        const NodeId to = scratch_[i].to;
-        if (inbox_stamp_[to] != tag) {
-          inbox_stamp_[to] = tag;
-          inbox_cnt_[to] = 0;
-          recv.push_back(to);
+        InboxMeta& im = inbox_meta_[scr_to_[i]];
+        if (im.stamp != tag) {
+          im.stamp = tag;
+          im.cnt = 0;
+          recv.push_back(scr_to_[i]);
         }
-        ++inbox_cnt_[to];
+        ++im.cnt;
       }
-      std::size_t off = sb;
+      std::uint32_t off = static_cast<std::uint32_t>(sb);
       for (NodeId r : recv) {
-        inbox_off_[r] = off;
-        inbox_cur_[r] = off;
-        off += inbox_cnt_[r];
+        InboxMeta& im = inbox_meta_[r];
+        im.off = off;
+        im.cur = off;
+        off += im.cnt;
       }
       for (std::size_t i = sb; i < se; ++i) {
-        deliveries_[inbox_cur_[scratch_[i].to]++] = std::move(scratch_[i]);
+        const std::size_t pos = inbox_meta_[scr_to_[i]].cur++;
+        dlv_key_[pos] = scr_key_[i];
+        if (with_seq) dlv_seq_[pos] = scr_seq_[i];
+        dlv_msg_[pos] = std::move(scr_msg_[i]);
       }
       const std::uint64_t t_s1 = tel ? telemetry::now_ns() : 0;
       for (NodeId r : recv) {
-        const auto begin = deliveries_.begin() +
-                           static_cast<std::ptrdiff_t>(inbox_off_[r]);
-        std::sort(begin, begin + static_cast<std::ptrdiff_t>(inbox_cnt_[r]),
-                  [](const Delivery& a, const Delivery& b) {
-                    return a.key != b.key ? a.key < b.key : a.seq < b.seq;
-                  });
+        sort_inbox(inbox_meta_[r].off, inbox_meta_[r].cnt, with_seq);
       }
 #if LPS_FAULTS
       if (faults_ != nullptr && faults_->reorder()) {
@@ -656,12 +897,15 @@ class SyncNetwork {
         // sorted inbox: the permutation depends on neither thread nor
         // shard assignment, so perturbed executions stay reproducible.
         for (NodeId r : recv) {
-          const std::uint32_t cnt = inbox_cnt_[r];
+          const std::uint32_t cnt = inbox_meta_[r].cnt;
           if (cnt < 2) continue;
           Rng rr = faults_->reorder_rng(r, round_);
-          Delivery* base = deliveries_.data() + inbox_off_[r];
+          const std::size_t base = inbox_meta_[r].off;
           for (std::uint32_t i = cnt; i > 1; --i) {
-            std::swap(base[i - 1], base[rr.below(i)]);
+            const std::uint32_t j = rr.below(i);
+            std::swap(dlv_key_[base + i - 1], dlv_key_[base + j]);
+            if (with_seq) std::swap(dlv_seq_[base + i - 1], dlv_seq_[base + j]);
+            std::swap(dlv_msg_[base + i - 1], dlv_msg_[base + j]);
           }
           faults_->note_reordered();
         }
@@ -703,30 +947,18 @@ class SyncNetwork {
     } else {
       for (unsigned s = 0; s < num_shards; ++s) build_shard(s);
     }
-
-    const std::uint64_t t_dl = tel ? telemetry::now_ns() : 0;
-    inbox_entries_.resize(total);
-    for (std::size_t i = 0; i < total; ++i) {
-      inbox_entries_[i] =
-          Incoming{deliveries_[i].from, deliveries_[i].edge,
-                   &deliveries_[i].payload};
-    }
-    if (tel) {
-      const std::uint64_t t_dl_end = telemetry::now_ns();
-      if (tmetrics) {
-        telemetry::EngineMetrics::get().deliver_ns.record(t_dl_end - t_dl);
-      }
-      if (ttrace) {
-        tracer.emit("engine.deliver", "engine", t_dl, t_dl_end - t_dl,
-                    {{"round", static_cast<double>(round_)},
-                     {"msgs", static_cast<double>(total)}});
-      }
-    }
+    // No materialization pass follows: inbox_of() hands out views over
+    // the delivery columns directly.
   }
 
-  std::span<const Incoming> inbox_of(NodeId v) const {
-    if (inbox_entries_.empty() || inbox_stamp_[v] != round_) return {};
-    return {inbox_entries_.data() + inbox_off_[v], inbox_cnt_[v]};
+  InboxView inbox_of(NodeId v) const {
+    const InboxMeta& im = inbox_meta_[v];
+    if (dlv_key_.empty() || im.stamp != epoch()) return {};
+    const GraphStore& s = graph_->store();
+    const std::uint64_t base = s.offsets[v];
+    return InboxView(dlv_key_.data() + im.off, dlv_msg_.data() + im.off,
+                     s.adj_to.data() + base, s.adj_edge.data() + base,
+                     im.cnt);
   }
 
   const Graph* graph_;
@@ -735,28 +967,30 @@ class SyncNetwork {
   ThreadPool* pool_ = nullptr;
   ShardPlan plan_;
 
-  // Epoch-stamped directed channels (double-send detection) and the
-  // precomputed receiver-side incidence position per channel.
-  std::vector<std::uint64_t> slot_stamp_;  // 2m; == round of last send
-  std::vector<std::uint32_t> rcv_slot_;    // 2m
+  // Epoch-stamped directed channels (double-send detection) fused with
+  // the precomputed receiver-side incidence position per channel.
+  std::vector<ArcMeta> arc_meta_;  // 2m
 
-  // This round's mailbox: staged deliveries grouped by shard then
-  // receiver, plus the per-receiver range bookkeeping (all stamped by
-  // round, so none of it is ever swept).
-  std::vector<Delivery> scratch_;     // shard-binned staging
-  std::vector<Delivery> deliveries_;  // receiver-grouped, inbox-ordered
-  std::vector<Incoming> inbox_entries_;
+  // This round's mailbox, as parallel columns: shard-binned staging
+  // (scr_*) then receiver-grouped, inbox-ordered deliveries (dlv_*),
+  // plus the per-receiver range bookkeeping (all stamped by round, so
+  // none of it is ever swept). The seq columns stay empty unless
+  // message faults are active.
+  std::vector<NodeId> scr_to_;
+  std::vector<std::uint32_t> scr_key_;
+  std::vector<std::uint32_t> scr_seq_;
+  std::vector<M> scr_msg_;
+  std::vector<std::uint32_t> dlv_key_;
+  std::vector<std::uint32_t> dlv_seq_;
+  std::vector<M> dlv_msg_;
   std::vector<std::vector<NodeId>> shard_receivers_;
   std::vector<std::size_t> shard_cnt_;  // shards+1; reused as cursors
   std::vector<std::size_t> shard_off_;  // shards+1
-  std::vector<std::uint64_t> inbox_stamp_;  // n
-  std::vector<std::size_t> inbox_off_;      // n
-  std::vector<std::size_t> inbox_cur_;      // n
-  std::vector<std::uint32_t> inbox_cnt_;    // n
+  std::vector<InboxMeta> inbox_meta_;   // n
 
   // Active-set scheduling state, bucketed per shard.
   std::vector<NodeId> active_;
-  std::vector<std::uint64_t> active_stamp_;  // n
+  std::vector<std::uint32_t> active_stamp_;  // n
   std::vector<NodeId> pending_activations_;
   std::vector<std::vector<NodeId>> shard_active_;
   bool step_all_ = false;
@@ -765,15 +999,10 @@ class SyncNetwork {
   std::vector<PerWorker> workers_;
 
 #if LPS_FAULTS
-  /// A message held back by a delay fault, due for delivery at the
-  /// start of round `due`.
-  struct DelayedRec {
-    std::uint64_t due;
-    SendRec rec;
-  };
   faults::MessageFaultInjector* faults_ = nullptr;  // not owned
-  std::vector<DelayedRec> delayed_;
-  std::vector<SendRec> dup_buf_;
+  bool seq_on_ = false;  // maintain seq columns (message faults active)
+  std::vector<PendingRec> delayed_;
+  std::vector<PendingRec> dup_buf_;
 #endif
 
   std::uint64_t round_ = 0;

@@ -29,25 +29,52 @@ int read_cache_level(const std::string& path) {
   return in ? level : -1;
 }
 
-CacheInfo detect_cache_uncached() {
+/// Parse a plain integer file (coherency_line_size); 0 on failure.
+std::size_t read_cache_uint(const std::string& path) {
+  std::ifstream in(path);
+  std::size_t value = 0;
+  in >> value;
+  return in ? value : 0;
+}
+
+/// First word of the cache "type" file ("Data", "Instruction",
+/// "Unified"); empty on failure.
+std::string read_cache_type(const std::string& path) {
+  std::ifstream in(path);
+  std::string type;
+  in >> type;
+  return in ? type : std::string();
+}
+
+}  // namespace
+
+CacheInfo detect_cache_at(const std::string& cache_dir) {
   CacheInfo info;
-  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  const std::string base = cache_dir + "/index";
   for (int i = 0; i < 8; ++i) {
     const std::string dir = base + std::to_string(i);
     const int level = read_cache_level(dir + "/level");
     if (level < 0) break;
     const std::size_t size = read_cache_size(dir + "/size");
     if (size == 0) continue;
+    if (level == 1) {
+      // L1 splits into instruction and data halves; only the data (or a
+      // unified) cache bounds the streaming working set.
+      const std::string type = read_cache_type(dir + "/type");
+      if (type == "Instruction") continue;
+      info.l1d_bytes = size;
+      const std::size_t line = read_cache_uint(dir + "/coherency_line_size");
+      if (line != 0) info.line_bytes = line;
+    }
     if (level == 2) info.l2_bytes = size;
     if (level == 3) info.l3_bytes = size;
   }
   return info;
 }
 
-}  // namespace
-
 const CacheInfo& detect_cache() {
-  static const CacheInfo info = detect_cache_uncached();
+  static const CacheInfo info =
+      detect_cache_at("/sys/devices/system/cpu/cpu0/cache");
   return info;
 }
 

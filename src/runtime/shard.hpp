@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "graph/storage.hpp"
 
@@ -21,12 +22,20 @@ namespace lps {
 /// Detected cache sizes, with conservative fallbacks when sysfs is
 /// unavailable (non-Linux, sandboxes).
 struct CacheInfo {
-  std::size_t l2_bytes = 1u << 20;   // fallback: 1 MiB
-  std::size_t l3_bytes = 8u << 20;   // fallback: 8 MiB
+  std::size_t l1d_bytes = 32u << 10;  // fallback: 32 KiB
+  std::size_t line_bytes = 64;        // fallback: 64 B
+  std::size_t l2_bytes = 1u << 20;    // fallback: 1 MiB
+  std::size_t l3_bytes = 8u << 20;    // fallback: 8 MiB
 };
 
 /// Reads /sys/devices/system/cpu/cpu0/cache once and caches the result.
 const CacheInfo& detect_cache();
+
+/// Uncached probe against an arbitrary sysfs-style cache directory
+/// (".../cache"; index<i> subdirs with level/type/size files). Exists so
+/// tests can exercise both the parse and the fallback paths; production
+/// code goes through detect_cache().
+CacheInfo detect_cache_at(const std::string& cache_dir);
 
 /// Bytes of engine + typical solver state touched per vertex per round;
 /// used by the auto plan. Mailbox bookkeeping (~24B) + active stamp +

@@ -284,7 +284,6 @@ EngineMetrics& EngineMetrics::get() {
       reg.histogram("engine.exchange_p1_ns"),
       reg.histogram("engine.exchange_p2_ns"),
       reg.histogram("engine.inbox_sort_ns"),
-      reg.histogram("engine.deliver_ns"),
       reg.histogram("engine.step_ns"),
       reg.indexed("engine.shard_exchange_ns"),
       reg.indexed("engine.worker_busy_ns"),

@@ -262,7 +262,6 @@ struct EngineMetrics {
   Histogram& exchange_p1_ns;  // boundary exchange: bin by dest shard
   Histogram& exchange_p2_ns;  // per shard: sort by receiver + scatter
   Histogram& inbox_sort_ns;   // per shard: per-receiver incidence sort
-  Histogram& deliver_ns;      // inbox span materialization
   Histogram& step_ns;         // active-set step loop
   IndexedCounter& shard_exchange_ns;  // phase-2 ns by shard id
   IndexedCounter& worker_busy_ns;     // step-loop ns by worker id

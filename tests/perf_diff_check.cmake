@@ -98,6 +98,40 @@ file(WRITE "${workdir}/baseline_ok.json"
 expect_code(0 --check --ledger "${workdir}/steady.jsonl"
             --baseline "${workdir}/baseline_ok.json")
 
+# Schema v3 pins are per metric: a ns_per_msg series (lower is better)
+# must compare against the baseline's ns_per_delivered_message column,
+# not the rounds/sec one — under config-only keying this drift would be
+# invisible (51 "ns" looks great next to a 100 rounds/sec pin).
+macro(ns_row value)
+  string(APPEND ledger
+      "{\"kind\":\"bench\",\"config\":\"engine:n=1024,deg=4\","
+      "\"metric\":\"ns_per_msg\",\"value\":${value},"
+      "\"higher_is_better\":false}\n")
+endmacro()
+file(WRITE "${workdir}/baseline_v3.json"
+"{\"schema\": \"lps-bench-engine-v3\", \"results\": [
+  {\"n\": 1024, \"avg_deg\": 4, \"rounds_per_sec\": 100.0,
+   \"ns_per_delivered_message\": 40.0}
+]}
+")
+set(ledger "")
+ns_row(50.0)
+ns_row(51.0)
+file(WRITE "${workdir}/ns_drift.jsonl" "${ledger}")
+expect_code(1 --check --ledger "${workdir}/ns_drift.jsonl"
+            --baseline "${workdir}/baseline_v3.json")
+if(NOT last_err MATCHES "engine:n=1024,deg=4 :: ns_per_msg")
+  message(SEND_ERROR
+      "ns/msg baseline drift not named per metric:\n${last_err}")
+endif()
+# Within the ns pin -> exit 0 (the rounds/sec pin must not cross-fire).
+set(ledger "")
+ns_row(41.0)
+ns_row(42.0)
+file(WRITE "${workdir}/ns_ok.jsonl" "${ledger}")
+expect_code(0 --check --ledger "${workdir}/ns_ok.jsonl"
+            --baseline "${workdir}/baseline_v3.json")
+
 # Parse / IO / usage errors -> exit 2.
 file(WRITE "${workdir}/corrupt.jsonl" "{\"kind\":\"bench\"\n")
 expect_code(2 --check --ledger "${workdir}/corrupt.jsonl")

@@ -7,6 +7,8 @@
 // (which never see the engine) still agree with sharded global runs.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -120,6 +122,53 @@ TEST(ShardPlan, WidthAndCoverage) {
       ASSERT_EQ(covered, n);
     }
   }
+}
+
+TEST(CacheDetect, FallbackWhenSysfsAbsent) {
+  // No sysfs (containers, non-Linux): every field keeps its conservative
+  // default — 32 KiB L1d with 64-byte lines is the floor the SIMD block
+  // sizing assumes.
+  const CacheInfo info = detect_cache_at("/nonexistent/lps-cache-test");
+  EXPECT_EQ(info.l1d_bytes, std::size_t{32} << 10);
+  EXPECT_EQ(info.line_bytes, std::size_t{64});
+  EXPECT_EQ(info.l2_bytes, std::size_t{1} << 20);
+  EXPECT_EQ(info.l3_bytes, std::size_t{8} << 20);
+}
+
+TEST(CacheDetect, ReadsSyntheticSysfs) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "lps_cache_sysfs";
+  fs::remove_all(root);
+  auto write = [&](const std::string& index, const std::string& file,
+                   const std::string& content) {
+    fs::create_directories(root / index);
+    std::ofstream(root / index / file) << content << "\n";
+  };
+  // index0: L1 Instruction — must be skipped for l1d sizing.
+  write("index0", "level", "1");
+  write("index0", "type", "Instruction");
+  write("index0", "size", "64K");
+  write("index0", "coherency_line_size", "128");
+  // index1: L1 Data 48K, 64-byte lines.
+  write("index1", "level", "1");
+  write("index1", "type", "Data");
+  write("index1", "size", "48K");
+  write("index1", "coherency_line_size", "64");
+  // index2/index3: L2/L3.
+  write("index2", "level", "2");
+  write("index2", "type", "Unified");
+  write("index2", "size", "2048K");
+  write("index3", "level", "3");
+  write("index3", "type", "Unified");
+  write("index3", "size", "16M");
+
+  const CacheInfo info = detect_cache_at(root.string());
+  EXPECT_EQ(info.l1d_bytes, std::size_t{48} << 10);
+  EXPECT_EQ(info.line_bytes, std::size_t{64});
+  EXPECT_EQ(info.l2_bytes, std::size_t{2048} << 10);
+  EXPECT_EQ(info.l3_bytes, std::size_t{16} << 20);
+  fs::remove_all(root);
 }
 
 TEST(ShardPlan, AutoPlanTracksDetectedCache) {

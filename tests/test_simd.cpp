@@ -1,0 +1,270 @@
+// Two guarantees for runtime/simd.hpp (DESIGN.md §15):
+//
+//  1. Kernel identity: every helper, at whatever level the host
+//     dispatches to, matches a naive scalar reference bit-for-bit on
+//     the boundary lengths (0, 1, width-1, width, width+1 for every
+//     vector width in play) and on unaligned slices — the cases where
+//     head/tail handling and masked lanes go wrong.
+//  2. Execution identity: all 8 engine-backed solvers produce
+//     bit-identical results scalar-forced vs auto-dispatched, across
+//     shard counts {1, 4, auto}. SIMD is an implementation detail of
+//     the solvers, never an observable one.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine_cases.hpp"
+#include "runtime/simd.hpp"
+#include "util/rng.hpp"
+
+namespace lps {
+namespace {
+
+using test_support::expect_identical;
+using test_support::kEngineCases;
+using test_support::solve_with;
+
+/// Pin or unpin the scalar path for one scope; always restores auto.
+struct ScopedScalar {
+  explicit ScopedScalar(bool on) { simd::force_scalar(on); }
+  ~ScopedScalar() { simd::force_scalar(false); }
+};
+
+// The widest vector path processes 32 bytes (AVX2) per step and the f64
+// kernels 4 lanes; cover every boundary around both, a zero, a one, and
+// lengths long enough to span several blocks.
+const std::vector<std::size_t> kLengths = {0,  1,  3,  4,  5,  7,  8,
+                                           15, 16, 17, 31, 32, 33, 63,
+                                           64, 65, 255, 256, 1027};
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng,
+                                       std::uint8_t values) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(values));
+  return out;
+}
+
+// ---- naive references ----
+
+bool ref_any_eq(const std::uint8_t* p, std::size_t n, std::uint8_t v) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] == v) return true;
+  }
+  return false;
+}
+
+std::size_t ref_count_eq(const std::uint8_t* p, std::size_t n,
+                         std::uint8_t v) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) c += p[i] == v ? 1 : 0;
+  return c;
+}
+
+std::size_t ref_argmax(const double* w, const std::uint32_t* id,
+                       const std::uint8_t* alive, std::size_t n) {
+  std::size_t best = simd::npos;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!alive[i]) continue;
+    if (best == simd::npos || w[i] > w[best] ||
+        (w[i] == w[best] && id[i] < id[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(SimdTest, LevelReporting) {
+  EXPECT_GE(static_cast<int>(simd::detected_level()),
+            static_cast<int>(simd::Level::kScalar));
+  {
+    ScopedScalar scalar(true);
+    EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::active_level(), simd::detected_level());
+  EXPECT_NE(std::string(simd::level_name(simd::active_level())), "");
+  // Block size: clamped, line-aligned, usable as a loop granule.
+  EXPECT_GE(simd::block_bytes(), std::size_t{4} << 10);
+  EXPECT_LE(simd::block_bytes(), std::size_t{1} << 20);
+  EXPECT_EQ(simd::block_bytes() % 64, 0u);
+}
+
+TEST(SimdTest, ByteKernelsMatchReference) {
+  Rng rng(2024);
+  for (const std::size_t n : kLengths) {
+    // Margin of 3 so the same buffer serves unaligned slices p+1..p+3.
+    std::vector<std::uint8_t> buf = random_bytes(n + 3, rng, 3);
+    for (std::size_t shift = 0; shift < 3; ++shift) {
+      const std::uint8_t* p = buf.data() + shift;
+      for (std::uint8_t v = 0; v < 3; ++v) {
+        const bool any = ref_any_eq(p, n, v);
+        const std::size_t cnt = ref_count_eq(p, n, v);
+        for (const bool scalar : {false, true}) {
+          ScopedScalar pin(scalar);
+          const std::string label = "n=" + std::to_string(n) +
+                                    " shift=" + std::to_string(shift) +
+                                    " v=" + std::to_string(v) +
+                                    (scalar ? " scalar" : " auto");
+          EXPECT_EQ(simd::any_eq_u8(p, n, v), any) << label;
+          // any_ne(v) == exists a byte != v.
+          EXPECT_EQ(simd::any_ne_u8(p, n, v), cnt != n) << label;
+          EXPECT_EQ(simd::count_eq_u8(p, n, v), cnt) << label;
+          std::vector<std::uint8_t> mask(n + 1, 0xee);
+          simd::mask_eq_u8(p, n, v, mask.data());
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(mask[i], p[i] == v ? 1 : 0) << label << " i=" << i;
+          }
+          EXPECT_EQ(mask[n], 0xee) << label << " (overwrote past end)";
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdTest, CountSaturationSafe) {
+  // The SSE2/AVX2 counters accumulate per-byte sums that must be
+  // flushed before 255 vectors; an all-match megabyte catches a missed
+  // flush as a wrong count.
+  std::vector<std::uint8_t> ones(1 << 20, 7);
+  for (const bool scalar : {false, true}) {
+    ScopedScalar pin(scalar);
+    EXPECT_EQ(simd::count_eq_u8(ones.data(), ones.size(), 7), ones.size());
+    EXPECT_EQ(simd::count_eq_u8(ones.data(), ones.size(), 8), 0u);
+  }
+}
+
+TEST(SimdTest, MaskPositiveMatchesReference) {
+  Rng rng(77);
+  for (const std::size_t n : kLengths) {
+    std::vector<double> x(n + 2);
+    for (auto& d : x) {
+      // Mix of signs, exact zeros, and negative zero.
+      const std::uint64_t r = rng.below(6);
+      d = r == 0 ? 0.0
+          : r == 1 ? -0.0
+                   : (rng.uniform01() - 0.5);
+    }
+    for (std::size_t shift = 0; shift < 2; ++shift) {
+      const double* p = x.data() + shift;
+      std::size_t ref_cnt = 0;
+      std::vector<std::uint8_t> ref_mask(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ref_mask[i] = p[i] > 0.0 ? 1 : 0;
+        ref_cnt += ref_mask[i];
+      }
+      for (const bool scalar : {false, true}) {
+        ScopedScalar pin(scalar);
+        std::vector<std::uint8_t> mask(n + 1, 0xee);
+        EXPECT_EQ(simd::mask_positive_f64(p, n, mask.data()), ref_cnt);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(mask[i], ref_mask[i]) << "n=" << n << " i=" << i;
+        }
+        EXPECT_EQ(mask[n], 0xee);
+      }
+    }
+  }
+}
+
+TEST(SimdTest, ArgmaxMatchesReference) {
+  Rng rng(99);
+  for (const std::size_t n : kLengths) {
+    std::vector<double> w(n + 2);
+    std::vector<std::uint32_t> id(n + 2);
+    std::vector<std::uint8_t> alive(n + 2);
+    // Duplicate weights on purpose (drawn from 8 values) so the id
+    // tiebreak is exercised; ids distinct as the contract requires.
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = static_cast<double>(rng.below(8)) * 0.25 - 1.0;
+      id[i] = static_cast<std::uint32_t>(i * 2 + 1);
+      alive[i] = rng.coin() ? 1 : 0;
+    }
+    for (std::size_t shift = 0; shift < 2; ++shift) {
+      const std::size_t ref =
+          ref_argmax(w.data() + shift, id.data() + shift,
+                     alive.data() + shift, n);
+      for (const bool scalar : {false, true}) {
+        ScopedScalar pin(scalar);
+        EXPECT_EQ(simd::argmax_masked_f64(w.data() + shift, id.data() + shift,
+                                          alive.data() + shift, n),
+                  ref)
+            << "n=" << n << " shift=" << shift << " scalar=" << scalar;
+      }
+    }
+    // All-dead mask => npos on every path.
+    std::vector<std::uint8_t> dead(n, 0);
+    for (const bool scalar : {false, true}) {
+      ScopedScalar pin(scalar);
+      EXPECT_EQ(
+          simd::argmax_masked_f64(w.data(), id.data(), dead.data(), n),
+          simd::npos);
+    }
+  }
+}
+
+TEST(SimdTest, Sub2GatherBitIdentical) {
+  Rng rng(123);
+  const std::size_t table = 97;
+  std::vector<double> sub(table);
+  for (auto& d : sub) d = rng.uniform01() * 10.0 - 5.0;
+  sub[0] = 0.0;  // the "free vertex" identity operand
+  for (const std::size_t n : kLengths) {
+    std::vector<double> w(n + 2);
+    std::vector<std::uint32_t> eu(n + 2);
+    std::vector<std::uint32_t> ev(n + 2);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = rng.uniform01() * 100.0;
+      eu[i] = static_cast<std::uint32_t>(rng.below(table));
+      ev[i] = static_cast<std::uint32_t>(rng.below(table));
+    }
+    for (std::size_t shift = 0; shift < 2; ++shift) {
+      std::vector<double> ref(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ref[i] = w[shift + i] - sub[eu[shift + i]] - sub[ev[shift + i]];
+      }
+      for (const bool scalar : {false, true}) {
+        ScopedScalar pin(scalar);
+        std::vector<double> out(n + 1, -777.0);
+        simd::sub2_gather_f64(w.data() + shift, sub.data(),
+                              eu.data() + shift, ev.data() + shift,
+                              out.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          // Bit comparison, not tolerance: the contract is exactness.
+          ASSERT_EQ(out[i], ref[i]) << "n=" << n << " i=" << i;
+        }
+        EXPECT_EQ(out[n], -777.0);
+      }
+    }
+  }
+}
+
+// ---- execution identity: scalar-forced vs auto across the client set ----
+
+class SimdEngineIdentityTest
+    : public ::testing::TestWithParam<test_support::ShardCase> {};
+
+TEST_P(SimdEngineIdentityTest, ScalarVsVectorizedAcrossShards) {
+  const test_support::ShardCase& c = GetParam();
+  for (const unsigned shards : {1u, 4u, 0u}) {
+    api::SolveResult vec = [&] {
+      ScopedScalar pin(false);
+      return solve_with(c, shards, nullptr);
+    }();
+    api::SolveResult sca = [&] {
+      ScopedScalar pin(true);
+      return solve_with(c, shards, nullptr);
+    }();
+    expect_identical(vec, sca,
+                     std::string(c.solver) + " shards=" +
+                         std::to_string(shards) + " scalar-vs-simd");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClients, SimdEngineIdentityTest, ::testing::ValuesIn(kEngineCases),
+    [](const ::testing::TestParamInfo<test_support::ShardCase>& info) {
+      return std::string(info.param.solver);
+    });
+
+}  // namespace
+}  // namespace lps

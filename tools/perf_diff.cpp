@@ -9,7 +9,9 @@
 // Per (config, metric) group the tool reports the latest value, the
 // median of the prior K runs, the delta between them, and a coarse
 // trend direction; bench rows keyed "engine:n=<n>,deg=<deg>" are
-// additionally compared against the matching BENCH_engine.json row.
+// additionally compared against the matching BENCH_engine.json row —
+// per metric, so the rounds/sec and ns/msg series each pin to their
+// own baseline column (schema v3 emits both per sweep row).
 // A group regresses when the latest value is worse than the prior
 // median (or the baseline) by more than --threshold percent, in the
 // direction each record's own higher_is_better declares.
@@ -114,7 +116,10 @@ bool load_ledger(const std::string& path,
   return true;
 }
 
-/// BENCH_engine.json rows keyed as the bench ledger records key them.
+/// BENCH_engine.json rows keyed exactly as the ledger groups are:
+/// "engine:n=<n>,deg=<deg> :: <metric>". One baseline row fans out to
+/// one entry per metric column it carries, so a ns/msg ledger series
+/// never gets compared against a rounds/sec pin (or vice versa).
 bool load_baseline(const std::string& path,
                    std::map<std::string, double>& rows, std::string* error) {
   std::ifstream in(path);
@@ -138,14 +143,16 @@ bool load_baseline(const std::string& path,
   for (const JsonValue& row : results->array) {
     const JsonValue* n = row.find("n");
     const JsonValue* deg = row.find("avg_deg");
-    const JsonValue* rps = row.find("rounds_per_sec");
-    if (n == nullptr || deg == nullptr || rps == nullptr) continue;
-    const std::string key =
+    if (n == nullptr || deg == nullptr) continue;
+    const std::string config =
         "engine:n=" +
         std::to_string(static_cast<unsigned long long>(n->number)) +
         ",deg=" +
         std::to_string(static_cast<unsigned long long>(deg->number));
-    rows[key] = rps->number;
+    const JsonValue* rps = row.find("rounds_per_sec");
+    if (rps != nullptr) rows[config + " :: rounds_per_sec"] = rps->number;
+    const JsonValue* ns = row.find("ns_per_delivered_message");
+    if (ns != nullptr) rows[config + " :: ns_per_msg"] = ns->number;
   }
   return true;
 }
@@ -260,8 +267,10 @@ int main(int argc, char** argv) {
                        : 0.0;
     bool regressed = have_ref && worse > threshold;
     // Baseline comparison rides on top of the history comparison: a
-    // slow drift that never trips the window still trips the pin.
-    const auto base_it = baseline.find(latest.config);
+    // slow drift that never trips the window still trips the pin. The
+    // lookup key is the group key (config :: metric), so each metric
+    // series pins to its own baseline column.
+    const auto base_it = baseline.find(key);
     if (base_it != baseline.end()) {
       const double bworse =
           worse_frac(latest.value, base_it->second, latest.higher_is_better);
